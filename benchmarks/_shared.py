@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's artifacts or
+quantifies one of its claims (the experiment ids E1–E9 in DESIGN.md).
+Every file is both a pytest-benchmark target (``pytest benchmarks/
+--benchmark-only``) and a standalone script (``python
+benchmarks/bench_access_cost.py`` prints the table).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+
+def report(text: str) -> None:
+    """Print a benchmark table (visible with ``pytest -s`` and when run
+    as a script; always written to stdout for tee'd logs)."""
+    print()
+    print(text)
+    sys.stdout.flush()
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are simulation experiments, not microbenchmarks: one round is
+    the meaningful unit, and the table it prints is the result.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

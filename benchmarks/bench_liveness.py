@@ -1,0 +1,85 @@
+"""E5 — claim C3: view convergence within Δ = π + 8δ.
+
+§5 proves that once a clique stabilizes (no further failures or
+recoveries affecting it), every member commits to the partition with
+the highest identifier within Δ = π + 8δ.  This bench heals a
+partitioned cluster, measures when the last processor joins the final
+common partition, and sweeps π and δ to show the measured convergence
+tracks (and respects) the bound.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.workload.tables import render_table
+
+from _shared import report, run_once
+
+
+def convergence_time(delta: float, pi: float, seed: int,
+                     jittered: bool) -> float:
+    """Time from heal to the last join of the final common partition."""
+    latency = (UniformLatency(0.4 * delta, delta) if jittered
+               else FixedLatency(delta))
+    config = ProtocolConfig(delta=delta, pi=pi)
+    cluster = Cluster(processors=5, seed=seed, latency=latency,
+                      config=config)
+    cluster.place("x", holders=[1, 2, 3, 4, 5], initial=0)
+    cluster.start()
+    cluster.injector.partition_at(5.0, [{1, 2}, {3, 4, 5}])
+    settle = 5.0 + 2 * config.liveness_bound
+    heal_at = settle + 1.0
+    cluster.injector.heal_all_at(heal_at)
+    cluster.run(until=heal_at + 3 * config.liveness_bound)
+
+    final_ids = {cluster.protocol(p).current_partition for p in cluster.pids}
+    assert len(final_ids) == 1 and None not in final_ids, (
+        f"cluster did not reconverge: {final_ids}"
+    )
+    final_id = final_ids.pop()
+    last_join = max(t for t, _pid, vpid, _v in cluster.history.joins
+                    if vpid == final_id)
+    return last_join - heal_at
+
+
+def run() -> dict:
+    rows = []
+    outcomes: dict = {}
+    for delta in (0.5, 1.0, 2.0):
+        for pi in (3 * delta, 10 * delta, 20 * delta):
+            bound = pi + 8 * delta
+            for jittered in (False, True):
+                measured = max(
+                    convergence_time(delta, pi, seed, jittered)
+                    for seed in (1, 2, 3)
+                )
+                outcomes[(delta, pi, jittered)] = (measured, bound)
+                rows.append([
+                    delta, pi, "uniform" if jittered else "fixed",
+                    measured, bound, measured <= bound,
+                ])
+    report(render_table(
+        ["delta", "pi", "latency", "measured worst (3 seeds)",
+         "bound pi+8*delta", "within"],
+        rows,
+        title="E5  View convergence after heal vs the liveness bound "
+              "Delta = pi + 8*delta (5 processors, 2|3 partition healed)",
+    ))
+    return outcomes
+
+
+def test_benchmark_liveness(benchmark):
+    outcomes = run_once(benchmark, run)
+    for (delta, pi, _jittered), (measured, bound) in outcomes.items():
+        assert measured <= bound, (
+            f"convergence {measured} exceeded Delta={bound} "
+            f"(delta={delta}, pi={pi})"
+        )
+        # sanity: convergence takes real time (probing is periodic)
+        assert measured > 0
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,47 @@
+"""Execution analysis: histories, serializability and 1SR checkers."""
+
+from .history import INITIAL_VERSION, History, LogicalOp, PhysicalOp, TxnRecord
+from .metrics import (
+    StaleRead,
+    abort_stats,
+    convergence_time,
+    membership_timeline,
+    operation_latencies,
+    partition_lifetimes,
+    stale_reads,
+)
+from .one_copy import (
+    InconclusiveCheck,
+    OneCopyResult,
+    check_one_copy,
+    is_one_copy_serializable,
+)
+from .serialization import (
+    conflict_graph,
+    find_cycle,
+    is_cp_serializable,
+    serial_order,
+)
+
+__all__ = [
+    "History",
+    "StaleRead",
+    "abort_stats",
+    "convergence_time",
+    "membership_timeline",
+    "operation_latencies",
+    "partition_lifetimes",
+    "stale_reads",
+    "INITIAL_VERSION",
+    "InconclusiveCheck",
+    "LogicalOp",
+    "OneCopyResult",
+    "PhysicalOp",
+    "TxnRecord",
+    "check_one_copy",
+    "conflict_graph",
+    "find_cycle",
+    "is_cp_serializable",
+    "is_one_copy_serializable",
+    "serial_order",
+]

@@ -1,0 +1,180 @@
+"""One-copy serializability (1SR) of the logical history.
+
+The correctness criterion of the paper: the committed transactions must
+behave as if executed serially against a *single-copy* database
+[TGGL, BGb].  With exact version tokens on every read and write, this
+reduces to: does some total order of the committed transactions replay
+such that every logical read returns the version installed by the
+latest preceding write (reads-own-writes included)?
+
+Deciding this is NP-hard in general, so the checker is two-tier:
+
+* **exact** — memoized depth-first search over transaction orders
+  (replaying prefix states); complete for the tens of transactions the
+  scenario tests and anomaly benchmarks produce;
+* **witness** — for large histories, try the natural candidate orders
+  first (commit-time order, and partition-creation order per Theorem
+  1'); if one replays cleanly the history is 1SR.  If none does and
+  the history is too large for the exact search, the result is
+  *inconclusive* — reported as such rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .history import INITIAL_VERSION, History, TxnRecord
+
+
+class InconclusiveCheck(Exception):
+    """The history was too large for the exact check and no candidate
+    witness order replayed cleanly."""
+
+
+@dataclass
+class OneCopyResult:
+    """Outcome of a 1SR check."""
+
+    ok: Optional[bool]  # True / False / None (inconclusive)
+    witness: Optional[List[Any]] = None  # a valid serial order, if ok
+    violation: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.ok is True
+
+
+def _replay(order: Sequence[TxnRecord]) -> Optional[str]:
+    """Replay transactions serially; None if every read is consistent,
+    else a description of the first violation."""
+    state: Dict[str, Any] = {}
+    for record in order:
+        overlay: Dict[str, Any] = {}
+        for op in record.logical_ops:
+            if op.kind == "w":
+                overlay[op.obj] = op.version
+                continue
+            expected = overlay.get(op.obj, state.get(op.obj, INITIAL_VERSION))
+            if op.version != expected:
+                return (f"txn {record.txn} read {op.obj}@{op.version} but a "
+                        f"one-copy database would hold {expected}")
+        state.update(overlay)
+    return None
+
+
+def _exact_search(records: List[TxnRecord]) -> Optional[List[Any]]:
+    """Memoized DFS over orders; a valid order or None if none exists."""
+    n = len(records)
+    writes_of: List[Dict[str, Any]] = []
+    for record in records:
+        overlay: Dict[str, Any] = {}
+        for op in record.logical_ops:
+            if op.kind == "w":
+                overlay[op.obj] = op.version
+        writes_of.append(overlay)
+
+    def readable(index: int, state: Dict[str, Any]) -> bool:
+        overlay: Dict[str, Any] = {}
+        for op in records[index].logical_ops:
+            if op.kind == "w":
+                overlay[op.obj] = op.version
+            else:
+                expected = overlay.get(
+                    op.obj, state.get(op.obj, INITIAL_VERSION)
+                )
+                if op.version != expected:
+                    return False
+        return True
+
+    failed: set[Tuple[frozenset, Tuple]] = set()
+
+    def search(used: frozenset, state: Dict[str, Any],
+               order: List[int]) -> Optional[List[int]]:
+        if len(order) == n:
+            return order
+        key = (used, tuple(sorted(state.items())))
+        if key in failed:
+            return None
+        for index in range(n):
+            if index in used:
+                continue
+            if not readable(index, state):
+                continue
+            new_state = dict(state)
+            new_state.update(writes_of[index])
+            result = search(used | {index}, new_state, order + [index])
+            if result is not None:
+                return result
+        failed.add(key)
+        return None
+
+    indices = search(frozenset(), {}, [])
+    if indices is None:
+        return None
+    return [records[i].txn for i in indices]
+
+
+def _candidate_orders(history: History,
+                      records: List[TxnRecord]) -> List[List[TxnRecord]]:
+    by_commit = sorted(records, key=lambda r: (r.end_time, r.begin_time))
+    orders = [by_commit]
+    # Theorem 1': an order consistent with partition creation order is a
+    # natural witness for the virtual partitions protocol.
+    def partition_key(record: TxnRecord):
+        vpids = [v for v in record.vpids if v is not None]
+        top = max(vpids) if vpids else None
+        return ((0, top) if top is not None else (1, None),
+                record.end_time)
+    try:
+        by_partition = sorted(records, key=partition_key)
+        orders.append(by_partition)
+    except TypeError:
+        pass  # mixed incomparable vpid types: skip this candidate
+    return orders
+
+
+def check_one_copy(history: History, exact_limit: int = 14) -> OneCopyResult:
+    """Full 1SR check with explicit three-valued outcome."""
+    records = history.committed()
+    if not records:
+        return OneCopyResult(ok=True, witness=[])
+
+    # Recoverability screen: reading a version written by a non-committed
+    # transaction can never be 1SR.
+    committed_ids = {r.txn for r in records}
+    for record in records:
+        for op in record.logical_ops:
+            if op.kind != "r" or op.version == INITIAL_VERSION:
+                continue
+            writer = op.version[0] if isinstance(op.version, tuple) else None
+            if writer is not None and writer != record.txn \
+                    and writer not in committed_ids and writer != "T0":
+                return OneCopyResult(
+                    ok=False,
+                    violation=(f"txn {record.txn} read {op.obj} from "
+                               f"non-committed transaction {writer}"),
+                )
+
+    last_violation = None
+    for order in _candidate_orders(history, records):
+        violation = _replay(order)
+        if violation is None:
+            return OneCopyResult(ok=True, witness=[r.txn for r in order])
+        last_violation = violation
+
+    if len(records) <= exact_limit:
+        witness = _exact_search(records)
+        if witness is None:
+            return OneCopyResult(ok=False, violation=last_violation)
+        return OneCopyResult(ok=True, witness=witness)
+    return OneCopyResult(ok=None, violation=last_violation)
+
+
+def is_one_copy_serializable(history: History,
+                             exact_limit: int = 14) -> bool:
+    """Boolean form; raises :class:`InconclusiveCheck` when undecidable
+    within the exact-search budget."""
+    result = check_one_copy(history, exact_limit=exact_limit)
+    if result.ok is None:
+        raise InconclusiveCheck(result.violation or "history too large")
+    return result.ok

@@ -1,0 +1,104 @@
+"""Conflict-preserving (CP) serializability of the physical history.
+
+Two physical operations conflict when they touch the same copy and at
+least one writes (§4).  Operations on one copy are totally ordered
+(§3), so the conflict order is the per-copy record order.  The history
+is CP-serializable iff the conflict graph over *committed* transactions
+is acyclic [H] — this checks assumption A1 actually held in a run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Set, Tuple
+
+from .history import History
+
+
+def conflict_graph(history: History) -> Dict[Any, Set[Any]]:
+    """Edges ``t1 -> t2``: a committed t1 op conflicts with and precedes
+    a committed t2 op on some copy."""
+    committed = {r.txn for r in history.committed()}
+    edges: Dict[Any, Set[Any]] = defaultdict(set)
+    for txn in committed:
+        edges[txn]  # ensure every committed txn appears as a node
+    by_copy: Dict[Tuple[str, int], List] = defaultdict(list)
+    for op in history.physical_ops:
+        if op.txn in committed:
+            by_copy[(op.obj, op.copy_pid)].append(op)
+    for ops in by_copy.values():
+        # Execution order on a copy = time order; the stable sort keeps
+        # record order for simultaneous operations.
+        ops.sort(key=lambda op: op.time)
+        for i, earlier in enumerate(ops):
+            for later in ops[i + 1:]:
+                if earlier.txn != later.txn and (
+                        earlier.kind == "w" or later.kind == "w"):
+                    edges[earlier.txn].add(later.txn)
+    return dict(edges)
+
+
+def find_cycle(edges: Dict[Any, Set[Any]]) -> List[Any] | None:
+    """A cycle in the graph as a node list, or None if acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    parent: Dict[Any, Any] = {}
+
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(sorted(edges[root], key=repr)))]
+        color[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in color:
+                    continue
+                if color[child] == WHITE:
+                    color[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(sorted(edges[child], key=repr))))
+                    advanced = True
+                    break
+                if color[child] == GREY:
+                    cycle = [child, node]
+                    walker = node
+                    while walker != child:
+                        walker = parent[walker]
+                        cycle.append(walker)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_cp_serializable(history: History) -> bool:
+    """True iff the committed conflict graph is acyclic."""
+    return find_cycle(conflict_graph(history)) is None
+
+
+def serial_order(history: History) -> List[Any]:
+    """A topological order of the conflict graph (an equivalent serial
+    execution); raises ``ValueError`` if the history is not serializable."""
+    edges = conflict_graph(history)
+    indegree: Dict[Any, int] = {node: 0 for node in edges}
+    for sources in edges.values():
+        for target in sources:
+            indegree[target] += 1
+    ready = sorted((node for node, deg in indegree.items() if deg == 0),
+                   key=repr)
+    order: List[Any] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for target in sorted(edges[node], key=repr):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                ready.append(target)
+        ready.sort(key=repr)
+    if len(order) != len(edges):
+        raise ValueError("history is not CP-serializable (conflict cycle)")
+    return order

@@ -1,0 +1,17 @@
+"""Concurrency control strategy factory."""
+
+from __future__ import annotations
+
+from ..sim import Simulator
+from .strategy import ConcurrencyControl
+from .tso import TimestampOrdering
+from .twopl import TwoPhaseLocking
+
+
+def make_cc(config, sim: Simulator, label: str) -> ConcurrencyControl:
+    """Instantiate the strategy named by ``config.cc``."""
+    if config.cc == "tso":
+        return TimestampOrdering(sim, wait_timeout=config.lock_timeout,
+                                 label=label)
+    return TwoPhaseLocking(sim, lock_timeout=config.lock_timeout,
+                           label=label)

@@ -1,0 +1,159 @@
+"""Strict timestamp ordering as a concurrency control strategy [BSR].
+
+Transactions carry a globally unique timestamp ``(begin_time, pid,
+seq)``.  Each copy remembers the largest timestamp that read it
+(``rts``), the largest that wrote it (``wts``), and the uncommitted
+writer if any.  Admission rules (strict TSO, no Thomas write rule —
+skipping writes would corrupt the replica dates):
+
+* read at ``ts``: rejected if ``ts < wts`` (the value it should have
+  read is already overwritten); if the current write is uncommitted,
+  wait for the writer's fate first (no dirty reads);
+* write at ``ts``: rejected if ``ts < rts`` or ``ts < wts``; waits for
+  an uncommitted earlier writer, then installs itself as the
+  uncommitted writer.
+
+Rejections abort the transaction (it retries with a fresh, larger
+timestamp).  Waiting is only ever for *older* uncommitted writers, so
+wait-for chains strictly decrease in timestamp and deadlock is
+impossible — the timeout exists purely as a liveness backstop against
+decision messages lost to network failures.
+
+All admission state is volatile (a crash clears it); safety across
+crashes is provided by the replica control layer — a recovering
+processor joins a fresh partition and stale-partition operations are
+rejected by the ``v = cur-id`` check before reaching the CC layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from ..sim import Notifier, Simulator
+from .strategy import (
+    ConcurrencyControl,
+    REJECTED_TIMEOUT,
+    REJECTED_TOO_LATE,
+)
+
+
+@dataclass
+class _CopyMarks:
+    rts: Any = None
+    wts: Any = None
+    uncommitted: Optional[tuple] = None  # (txn, ts)
+    readers: Set[Any] = field(default_factory=set)
+
+
+def _later(a, b) -> bool:
+    """ts ``a`` strictly later than ``b`` (None = minus infinity)."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a > b
+
+
+class TimestampOrdering(ConcurrencyControl):
+    """Strict TSO over local copies."""
+
+    name = "tso"
+
+    def __init__(self, sim: Simulator, wait_timeout: float,
+                 label: str = "tso"):
+        self.sim = sim
+        self.wait_timeout = wait_timeout
+        self._marks: Dict[str, _CopyMarks] = {}
+        self._changed = Notifier(sim, name=f"{label}.decisions")
+        #: admissions per transaction, for finish/active_txns
+        self._by_txn: Dict[Any, Set[str]] = {}
+        self.rejections = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def begin_read(self, txn: Any, ts: Any, obj: str):
+        marks = self._marks.setdefault(obj, _CopyMarks())
+        settled = yield from self._await_no_older_uncommitted(txn, ts, obj)
+        if not settled:
+            return (False, REJECTED_TIMEOUT)
+        marks = self._marks.setdefault(obj, _CopyMarks())
+        if _later(marks.wts, ts) and not self._own(marks, txn):
+            self.rejections += 1
+            return (False, REJECTED_TOO_LATE)
+        if not _later(ts, marks.rts) and marks.rts is not None:
+            pass  # reads never invalidate earlier reads
+        if _later(ts, marks.rts):
+            marks.rts = ts
+        marks.readers.add(txn)
+        self._by_txn.setdefault(txn, set()).add(obj)
+        return (True, None)
+
+    def begin_write(self, txn: Any, ts: Any, obj: str):
+        settled = yield from self._await_no_older_uncommitted(txn, ts, obj)
+        if not settled:
+            return (False, REJECTED_TIMEOUT)
+        marks = self._marks.setdefault(obj, _CopyMarks())
+        if self._own(marks, txn):
+            # re-writing our own uncommitted value is always fine
+            return (True, None)
+        if _later(marks.rts, ts) or _later(marks.wts, ts):
+            self.rejections += 1
+            return (False, REJECTED_TOO_LATE)
+        marks.wts = ts
+        marks.uncommitted = (txn, ts)
+        self._by_txn.setdefault(txn, set()).add(obj)
+        return (True, None)
+
+    def _await_no_older_uncommitted(self, txn: Any, ts: Any, obj: str):
+        """Strictness: wait for the fate of an uncommitted older writer."""
+        deadline = self.sim.now + self.wait_timeout
+        while True:
+            marks = self._marks.setdefault(obj, _CopyMarks())
+            holder = marks.uncommitted
+            if holder is None or holder[0] == txn:
+                return True
+            if _later(holder[1], ts):
+                # the uncommitted write is NEWER than us: we are too
+                # late either way; let the rts/wts check reject us.
+                return True
+            if self.sim.now >= deadline:
+                return False
+            change = self._changed.wait()
+            tick = self.sim.timeout(max(deadline - self.sim.now, 0.0))
+            yield self.sim.any_of([change, tick])
+
+    @staticmethod
+    def _own(marks: _CopyMarks, txn: Any) -> bool:
+        return marks.uncommitted is not None and marks.uncommitted[0] == txn
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def finish(self, txn: Any, outcome: str) -> None:
+        for obj in self._by_txn.pop(txn, set()):
+            marks = self._marks.get(obj)
+            if marks is None:
+                continue
+            marks.readers.discard(txn)
+            if marks.uncommitted is not None and marks.uncommitted[0] == txn:
+                marks.uncommitted = None
+                # An aborted write's value is rolled back by the server's
+                # before-image; wts stays conservatively high, which can
+                # only cause extra (safe) rejections.
+        self._changed.notify_all()
+
+    def active_txns(self) -> Set[Any]:
+        return set(self._by_txn)
+
+    def stable_read_gate(self, obj: str):
+        """Wait until no uncommitted write marks the copy."""
+        deadline = self.sim.now + self.wait_timeout
+        while True:
+            marks = self._marks.get(obj)
+            if marks is None or marks.uncommitted is None:
+                return True
+            if self.sim.now >= deadline:
+                return False
+            change = self._changed.wait()
+            tick = self.sim.timeout(max(deadline - self.sim.now, 0.0))
+            yield self.sim.any_of([change, tick])

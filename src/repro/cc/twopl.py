@@ -1,0 +1,59 @@
+"""Strict two-phase locking as a concurrency control strategy [EGLT].
+
+Wraps the :class:`~repro.cc.locks.LockManager` with the deadlock-
+breaking timeout: admission = lock grant; ``finish`` is the strict
+release at end of transaction.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Set
+
+from ..sim import Simulator
+from .locks import EXCLUSIVE, SHARED, LockManager
+from .strategy import ConcurrencyControl, REJECTED_TIMEOUT
+
+
+class TwoPhaseLocking(ConcurrencyControl):
+    """Strict 2PL on copies with timeout-based deadlock breaking."""
+
+    name = "2pl"
+
+    def __init__(self, sim: Simulator, lock_timeout: float,
+                 label: str = "2pl"):
+        self.sim = sim
+        self.lock_timeout = lock_timeout
+        self.locks = LockManager(sim, name=label)
+        self._gate_seq = count(1)
+
+    def begin_read(self, txn: Any, ts: Any, obj: str):
+        granted = yield from self._acquire(txn, obj, SHARED)
+        return (granted, None if granted else REJECTED_TIMEOUT)
+
+    def begin_write(self, txn: Any, ts: Any, obj: str):
+        granted = yield from self._acquire(txn, obj, EXCLUSIVE)
+        return (granted, None if granted else REJECTED_TIMEOUT)
+
+    def finish(self, txn: Any, outcome: str) -> None:
+        self.locks.release_all(txn)
+
+    def active_txns(self) -> Set[Any]:
+        return self.locks.holding_txns()
+
+    def stable_read_gate(self, obj: str):
+        """A short shared lock: granted means no writer holds the copy."""
+        gate_txn = ("cc-gate", next(self._gate_seq))
+        granted = yield from self._acquire(gate_txn, obj, SHARED)
+        if granted:
+            self.locks.release_all(gate_txn)
+        return granted
+
+    def _acquire(self, txn: Any, obj: str, mode: str):
+        request = self.locks.acquire(txn, obj, mode)
+        if request.triggered:
+            return True
+            yield  # pragma: no cover
+        tick = self.sim.timeout(self.lock_timeout)
+        result = yield self.sim.any_of([request, tick])
+        return request in result

@@ -1,0 +1,210 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro run --protocol virtual-partitions --processors 5 \\
+        --read-fraction 0.95 --duration 300 --partition "1,2,3|4,5@100" \\
+        --heal-at 200
+
+    python -m repro compare --protocols virtual-partitions,quorum,rowa \\
+        --read-fraction 0.9
+
+    python -m repro scenario example1 --flavor both
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import ProtocolConfig
+from .workload import ExperimentSpec, WorkloadSpec, run_experiment
+from .workload.sweep import sweep_protocols
+from .workload.tables import render_table
+
+PROTOCOL_CHOICES = ["virtual-partitions", "rowa", "quorum", "majority",
+                    "missing-writes", "naive-view"]
+
+
+def _parse_partition(text: str):
+    """``"1,2,3|4,5@50.0"`` → (time, [[1,2,3],[4,5]])."""
+    try:
+        blocks_text, time_text = text.rsplit("@", 1)
+        when = float(time_text)
+        blocks = [
+            [int(p) for p in block.split(",") if p]
+            for block in blocks_text.split("|")
+        ]
+    except (ValueError, IndexError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad partition spec {text!r}; expected like '1,2,3|4,5@50'"
+        ) from exc
+    if not blocks or any(not block for block in blocks):
+        raise argparse.ArgumentTypeError(f"empty block in {text!r}")
+    return when, blocks
+
+
+def _spec_from(args, protocol: str) -> ExperimentSpec:
+    config = ProtocolConfig(delta=args.delta, pi=args.pi, cc=args.cc)
+
+    def failures(cluster):
+        for when, blocks in args.partition or []:
+            cluster.injector.partition_at(when, blocks)
+        if args.heal_at is not None:
+            cluster.injector.heal_all_at(args.heal_at)
+        for when, pid in args.crash or []:
+            cluster.injector.crash_at(when, pid)
+        for when, pid in args.recover or []:
+            cluster.injector.recover_at(when, pid)
+
+    return ExperimentSpec(
+        protocol=protocol,
+        processors=args.processors,
+        objects=args.objects,
+        copies_per_object=args.copies,
+        seed=args.seed,
+        duration=args.duration,
+        config=config,
+        workload=WorkloadSpec(
+            read_fraction=args.read_fraction,
+            ops_per_txn=args.ops_per_txn,
+            mean_interarrival=args.interarrival,
+        ),
+        failures=failures,
+        retries=args.retries,
+        check=args.check,
+    )
+
+
+def _result_rows(name: str, result) -> list:
+    return [
+        name, result.committed, result.aborted,
+        f"{result.commit_rate:.2f}",
+        f"{result.reads_per_logical_read:.2f}",
+        f"{result.writes_per_logical_write:.2f}",
+        f"{result.accesses_per_operation:.2f}",
+        result.network["sent"],
+        "-" if result.one_copy_ok is None else result.one_copy_ok,
+    ]
+
+
+_HEADERS = ["protocol", "committed", "aborted", "commit rate",
+            "phys/read", "phys/write", "phys/op", "messages", "1SR"]
+
+
+def cmd_run(args) -> int:
+    result = run_experiment(_spec_from(args, args.protocol))
+    print(render_table(_HEADERS, [_result_rows(args.protocol, result)],
+                       title=f"experiment (seed={args.seed}, "
+                             f"duration={args.duration})"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    results = sweep_protocols(_spec_from(args, protocols[0]), protocols)
+    rows = [_result_rows(name, results[name]) for name in protocols]
+    print(render_table(_HEADERS, rows,
+                       title=f"comparison (seed={args.seed}, paired "
+                             "workloads)"))
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    from .workload import scenarios
+
+    runners = {
+        ("example1", "naive"): scenarios.run_example1_naive,
+        ("example1", "vp"): scenarios.run_example1_vp,
+        ("example2", "naive"): scenarios.run_example2_naive,
+        ("example2", "vp"): scenarios.run_example2_vp,
+    }
+    flavors = ["naive", "vp"] if args.flavor == "both" else [args.flavor]
+    rows = []
+    for flavor in flavors:
+        outcome = runners[(args.name, flavor)](seed=args.seed)
+        rows.append([
+            flavor, len(outcome.committed), len(outcome.aborted),
+            outcome.cp_serializable, bool(outcome.one_copy.ok),
+        ])
+    print(render_table(
+        ["protocol", "committed", "aborted", "CP-serializable",
+         "one-copy SR"],
+        rows, title=f"paper scenario {args.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtual partitions replica control — experiment CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--processors", type=int, default=5)
+        p.add_argument("--objects", type=int, default=10)
+        p.add_argument("--copies", type=int, default=None,
+                       help="copies per object (default: full replication)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--duration", type=float, default=300.0)
+        p.add_argument("--read-fraction", type=float, default=0.9)
+        p.add_argument("--ops-per-txn", type=int, default=2)
+        p.add_argument("--interarrival", type=float, default=10.0)
+        p.add_argument("--retries", type=int, default=1)
+        p.add_argument("--delta", type=float, default=1.0,
+                       help="message delay bound (the paper's delta)")
+        p.add_argument("--pi", type=float, default=10.0,
+                       help="probe period (the paper's pi)")
+        p.add_argument("--cc", choices=["2pl", "tso"], default="2pl")
+        p.add_argument("--check", action="store_true",
+                       help="run the 1SR checker afterwards (small runs)")
+        p.add_argument("--partition", type=_parse_partition,
+                       action="append", metavar="BLOCKS@TIME",
+                       help="e.g. '1,2,3|4,5@50' (repeatable)")
+        p.add_argument("--heal-at", type=float, default=None)
+        p.add_argument("--crash", type=_parse_crash, action="append",
+                       metavar="PID@TIME", help="e.g. '4@30' (repeatable)")
+        p.add_argument("--recover", type=_parse_crash, action="append",
+                       metavar="PID@TIME")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                       default="virtual-partitions")
+    common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="same workload, many protocols")
+    cmp_p.add_argument("--protocols", default="virtual-partitions,quorum,rowa")
+    common(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    sc_p = sub.add_parser("scenario", help="run a paper scenario")
+    sc_p.add_argument("name", choices=["example1", "example2"])
+    sc_p.add_argument("--flavor", choices=["naive", "vp", "both"],
+                      default="both")
+    sc_p.add_argument("--seed", type=int, default=0)
+    sc_p.set_defaults(func=cmd_scenario)
+    return parser
+
+
+def _parse_crash(text: str):
+    try:
+        pid_text, time_text = text.split("@", 1)
+        return float(time_text), int(pid_text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad spec {text!r}; expected like '4@30'"
+        ) from exc
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

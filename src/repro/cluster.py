@@ -1,0 +1,188 @@
+"""The public entry point: build and run a replicated database cluster.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro import Cluster
+
+    cluster = Cluster(processors=3, seed=42)
+    cluster.place("x", holders=[1, 2, 3], initial=0)
+    cluster.start()
+
+    def body(txn):
+        value = yield from txn.read("x")
+        yield from txn.write("x", value + 1)
+        return value
+
+    outcome = cluster.submit(1, body)
+    cluster.run(until=50.0)
+    print(outcome.value)           # (True, 0)
+    print(cluster.check_one_copy_serializable())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from .analysis.history import INITIAL_VERSION, History
+from .cc.transactions import TransactionManager
+from .core.config import ProtocolConfig
+from .core.protocol import VirtualPartitionProtocol, bootstrap_partition
+from .core.views import CopyPlacement
+from .net.failures import FailureInjector
+from .net.latency import FixedLatency, LatencyModel
+from .net.network import Network
+from .net.topology import CommGraph
+from .node.processor import Processor
+from .sim import RandomStreams, Simulator
+
+#: protocol factory signature: (processor, placement, config, history,
+#: latency, all_pids) -> ReplicaControlProtocol
+ProtocolFactory = Callable[..., Any]
+
+
+class Cluster:
+    """A simulated distributed database under one replica control protocol."""
+
+    def __init__(self, processors: int | Iterable[int] = 3, seed: int = 0,
+                 latency: Optional[LatencyModel] = None,
+                 config: Optional[ProtocolConfig] = None,
+                 protocol: Optional[ProtocolFactory] = None,
+                 loss_prob: float = 0.0, slow_prob: float = 0.0,
+                 slow_factor: float = 5.0):
+        if isinstance(processors, int):
+            pids = list(range(1, processors + 1))
+        else:
+            pids = sorted(set(processors))
+        if not pids:
+            raise ValueError("need at least one processor")
+        self.pids = pids
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.latency = latency or FixedLatency(1.0)
+        self.config = config or ProtocolConfig(delta=self.latency.bound)
+        if self.config.delta < self.latency.bound:
+            raise ValueError(
+                f"config.delta={self.config.delta} is below the latency "
+                f"bound {self.latency.bound}: the protocol's timers would "
+                "misfire on legitimate delays"
+            )
+        self.graph = CommGraph(pids)
+        self.network = Network(
+            self.sim, self.graph, self.latency,
+            self.streams.stream("network"),
+            loss_prob=loss_prob, slow_prob=slow_prob, slow_factor=slow_factor,
+        )
+        self.history = History()
+        self.placement = CopyPlacement()
+        self.processors: Dict[int, Processor] = {
+            pid: Processor(pid, self.sim, self.network) for pid in pids
+        }
+        factory = protocol or VirtualPartitionProtocol
+        self.protocols: Dict[int, Any] = {
+            pid: factory(self.processors[pid], self.placement, self.config,
+                         self.history, self.latency, frozenset(pids))
+            for pid in pids
+        }
+        self.tms: Dict[int, TransactionManager] = {
+            pid: TransactionManager(self.protocols[pid], self.history)
+            for pid in pids
+        }
+        self.injector = FailureInjector(self.sim, self.graph, self.processors)
+        self._started = False
+
+    # -- setup -----------------------------------------------------------------
+
+    def place(self, obj: str, holders: Mapping[int, int] | Iterable[int],
+              initial: Any = None, size: int = 1) -> None:
+        """Declare a logical object, its copy holders/weights, and initial
+        value (installed on every copy with the T0 version)."""
+        self.placement.place(obj, holders, size=size)
+        for pid in self.placement.copies(obj):
+            self.processors[pid].store.place(
+                obj, initial=initial, date=None, size=size,
+                version=INITIAL_VERSION,
+            )
+
+    def start(self, bootstrap: bool = True) -> None:
+        """Attach protocols and spawn their tasks.
+
+        ``bootstrap=True`` starts all processors jointly committed to one
+        initial partition (an operator-booted system); ``False`` starts
+        each alone and lets probing merge them — useful for measuring
+        convergence itself.
+        """
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for pid in self.pids:
+            self.protocols[pid].attach()
+        if bootstrap and hasattr(self.protocols[self.pids[0]], "state"):
+            bootstrap_partition(list(self.protocols.values()))
+        for pid in self.pids:
+            self.processors[pid].start()
+        self._started = True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def submit(self, pid: int, body: Callable, retries: int = 0,
+               backoff: Optional[float] = None):
+        """Launch ``body`` as a transaction at processor ``pid``.
+
+        Returns the driving process; after the run, ``process.value`` is
+        ``(committed, result_or_reason)``.
+        """
+        tm = self.tms[pid]
+        return self.sim.process(
+            tm.run(body, retries=retries, backoff=backoff),
+            name=f"txn@p{pid}",
+        )
+
+    def read_once(self, pid: int, obj: str):
+        """Convenience: a single-read transaction at ``pid``."""
+        def body(txn):
+            value = yield from txn.read(obj)
+            return value
+        return self.submit(pid, body)
+
+    def write_once(self, pid: int, obj: str, value: Any):
+        """Convenience: a single-write transaction at ``pid``."""
+        def body(txn):
+            yield from txn.write(obj, value)
+            return value
+        return self.submit(pid, body)
+
+    # -- results -----------------------------------------------------------
+
+    def tm(self, pid: int) -> TransactionManager:
+        return self.tms[pid]
+
+    def protocol(self, pid: int):
+        return self.protocols[pid]
+
+    def processor(self, pid: int) -> Processor:
+        return self.processors[pid]
+
+    def total_metrics(self):
+        """Protocol counters summed over all processors."""
+        totals = None
+        for pid in self.pids:
+            metrics = self.protocols[pid].metrics
+            totals = metrics if totals is None else totals.merge(metrics)
+        return totals
+
+    def check_serializable(self) -> bool:
+        """CP-serializability of the committed physical history."""
+        from .analysis.serialization import is_cp_serializable
+        return is_cp_serializable(self.history)
+
+    def check_one_copy_serializable(self) -> bool:
+        """One-copy serializability of the committed logical history."""
+        from .analysis.one_copy import is_one_copy_serializable
+        return is_one_copy_serializable(self.history)
+
+    def __repr__(self) -> str:
+        return (f"Cluster(n={len(self.pids)}, "
+                f"protocol={next(iter(self.protocols.values())).name})")

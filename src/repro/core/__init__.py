@@ -1,0 +1,31 @@
+"""The paper's contribution: the virtual partitions replica control protocol."""
+
+from .config import (
+    CATCHUP_FULL,
+    CATCHUP_LOG,
+    INIT_PREVIOUS,
+    INIT_READ_ALL,
+    ProtocolConfig,
+)
+from .errors import AccessAborted, ReplicaControlError, TransactionAborted
+from .ids import VpId, initial_vp_id
+from .protocol import VirtualPartitionProtocol, bootstrap_partition
+from .state import ReplicaState
+from .views import CopyPlacement
+
+__all__ = [
+    "AccessAborted",
+    "CATCHUP_FULL",
+    "CATCHUP_LOG",
+    "CopyPlacement",
+    "INIT_PREVIOUS",
+    "INIT_READ_ALL",
+    "ProtocolConfig",
+    "ReplicaControlError",
+    "ReplicaState",
+    "TransactionAborted",
+    "VirtualPartitionProtocol",
+    "VpId",
+    "bootstrap_partition",
+    "initial_vp_id",
+]

@@ -1,0 +1,438 @@
+"""Rules R1–R4: logical reads/writes and the physical access server.
+
+Implements Figures 10 (``Logical-Read``), 11 (``Logical-Write``) and 12
+(``Physical-Access``), integrated with strict two-phase locking on
+copies (the concurrency control protocol assumed by §6's optimization
+discussion) and a prepare round at commit so that rule R4 holds even
+when a server joins a new partition after acknowledging an access —
+without the prepare round, a coordinator whose own view never changed
+could commit a transaction whose write was force-aborted elsewhere.
+
+The mixin expects the protocol façade to provide: ``processor``,
+``pid``, ``sim``, ``state``, ``placement``, ``config``, ``history``,
+``locks``, ``metrics``, ``distance(pid)``, and ``create_new_vp()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..node.processor import NoResponse
+from .errors import AccessAborted, TransactionAborted
+
+#: payload reasons a server may reject a physical access with
+REJECT_WRONG_PARTITION = "wrong-partition"
+REJECT_LOCK_TIMEOUT = "lock-timeout"
+REJECT_POISONED = "txn-poisoned"
+
+
+class AccessMixin:
+    """Client-side logical operations + server-side physical access."""
+
+    # ------------------------------------------------------------------
+    # client side: Fig. 10 — Logical-Read
+    # ------------------------------------------------------------------
+
+    def logical_read(self, obj: str, ctx):
+        """Read the nearest available copy of ``obj`` (rules R1 + R2)."""
+        self.metrics.logical_reads += 1
+        state = self.state
+        if not (state.assigned and self.placement.accessible(obj, state.lview)):
+            self.metrics.abort("r", "inaccessible")
+            raise AccessAborted(obj, "inaccessible")
+        candidates = self.placement.holders_by_distance(
+            obj, state.lview, self.distance
+        )
+        if not candidates:
+            self.metrics.abort("r", "no-copy-in-view")
+            raise AccessAborted(obj, "no copy in view")
+        vpid = state.cur_id
+        attempts = candidates if self.config.read_retry else candidates[:1]
+        last_reason = "no-response"
+        for server in attempts:
+            try:
+                response = yield from self._read_rpc(obj, server, vpid, ctx)
+            except NoResponse:
+                last_reason = "no-response"
+                if state.cur_id != vpid or not state.assigned:
+                    break
+                continue  # R2: retry the next-nearest copy
+            payload = response.payload
+            if payload["ok"]:
+                value = payload["value"]
+                self.history.record_logical(
+                    time=self.sim.now, txn=ctx.txn_id, kind="r", obj=obj,
+                    value=value, version=payload["version"],
+                )
+                ctx.note_access("r", obj, server, vpid)
+                return value
+            last_reason = payload["reason"]
+            if last_reason != REJECT_LOCK_TIMEOUT:
+                break  # partition mismatch: retrying elsewhere won't help
+            break  # lock timeout = probable deadlock; abort to break it
+        if last_reason == "no-response":
+            # Fig. 10 line 5: a silent copy means the view is stale.
+            self.create_new_vp()
+        self.metrics.abort("r", last_reason)
+        raise AccessAborted(obj, last_reason)
+
+    def _read_rpc(self, obj: str, server: int, vpid, ctx):
+        if server == self.pid:
+            self.metrics.local_reads += 1
+        self.metrics.physical_read_rpcs += 1
+        response = yield from self.processor.rpc(
+            server, "read",
+            {"obj": obj, "v": vpid, "txn": ctx.txn_id,
+             "ts": ctx.timestamp},
+            timeout=self.config.access_timeout,
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # client side: Fig. 11 — Logical-Write
+    # ------------------------------------------------------------------
+
+    def logical_write(self, obj: str, value: Any, ctx):
+        """Write every copy of ``obj`` in the view (rules R1 + R3)."""
+        self.metrics.logical_writes += 1
+        state = self.state
+        if not (state.assigned and self.placement.accessible(obj, state.lview)):
+            self.metrics.abort("w", "inaccessible")
+            raise AccessAborted(obj, "inaccessible")
+        vpid = state.cur_id
+        targets = sorted(self.placement.copies(obj) & state.lview)
+        version = ctx.next_version()
+
+        def one_write(server):
+            try:
+                response = yield from self.processor.rpc(
+                    server, "write",
+                    {"obj": obj, "value": value, "v": vpid,
+                     "txn": ctx.txn_id, "ts": ctx.timestamp,
+                     "version": version},
+                    timeout=self.config.access_timeout,
+                )
+            except NoResponse:
+                return ("no-response", server)
+            payload = response.payload
+            if payload["ok"]:
+                return ("ok", server)
+            return (payload["reason"], server)
+
+        self.metrics.physical_write_rpcs += len(targets)
+        # Plain sim processes, NOT processor tasks: a coordinator crash
+        # must not orphan the AllOf below (each worker is bounded by its
+        # rpc timeout, and a crashed sender's messages are dropped by
+        # the network anyway).
+        writers = [
+            self.sim.process(one_write(server),
+                             name=f"write({obj})->{server}")
+            for server in targets
+        ]
+        results = yield self.sim.all_of(writers)
+        outcomes = [results[w] for w in writers]
+        failures = [o for o in outcomes if o[0] != "ok"]
+        if failures:
+            reason = failures[0][0]
+            if reason == "no-response":
+                # Fig. 11 line 8: an unresponsive copy triggers a new VP.
+                self.create_new_vp()
+            for status, server in outcomes:
+                if status == "ok":
+                    ctx.note_access("w", obj, server, vpid)
+            ctx.poison(f"write {obj!r} failed at "
+                       f"{sorted(s for _, s in failures)}: {reason}")
+            self.metrics.abort("w", reason)
+            raise AccessAborted(obj, reason)
+        for _status, server in outcomes:
+            ctx.note_access("w", obj, server, vpid)
+        self.history.record_logical(
+            time=self.sim.now, txn=ctx.txn_id, kind="w", obj=obj,
+            value=value, version=version,
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # commit protocol (R4 validation + decision distribution)
+    # ------------------------------------------------------------------
+
+    def prepare_commit(self, ctx):
+        """Validate R4 across all participants (one voting round).
+
+        Strict mode: every participant must still be in the partition
+        the access was made in.  Weakened mode (§6): a participant in a
+        *newer* partition may vote yes when conditions (1) and (2) hold
+        — every object the transaction referenced is accessible in its
+        current view and every participant is inside that view.
+        Condition (3) is enforced by the recovery reads taking shared
+        locks (see copy_update).
+        """
+        if ctx.poisoned:
+            raise TransactionAborted(ctx.txn_id, ctx.poisoned)
+        state = self.state
+        if not state.assigned or state.cur_id not in ctx.vpids:
+            if ctx.vpids and not self._weakened_ok_locally(ctx):
+                raise TransactionAborted(
+                    ctx.txn_id, "coordinator changed partition (R4)"
+                )
+        votes_needed = sorted(ctx.participants - {self.pid})
+        payload = {
+            "txn": ctx.txn_id,
+            "vpids": sorted(ctx.vpids),
+            "objects": sorted(ctx.objects),
+            "participants": sorted(ctx.participants),
+        }
+
+        def one_vote(server):
+            try:
+                response = yield from self.processor.rpc(
+                    server, "prepare", payload,
+                    timeout=self.config.access_timeout,
+                )
+            except NoResponse:
+                return ("no-response", server)
+            return ("yes" if response.payload["ok"]
+                    else response.payload["reason"], server)
+
+        voters = [
+            self.sim.process(one_vote(server), name=f"prepare->{server}")
+            for server in votes_needed
+        ]
+        if self.pid in ctx.participants:
+            verdict = self._vote(ctx.txn_id, payload)
+            if verdict is not None:
+                raise TransactionAborted(ctx.txn_id, f"local vote: {verdict}")
+        if voters:
+            results = yield self.sim.all_of(voters)
+            for voter in voters:
+                status, server = results[voter]
+                if status != "yes":
+                    raise TransactionAborted(
+                        ctx.txn_id, f"participant {server} voted {status}"
+                    )
+        return None
+
+    def end_transaction(self, ctx, outcome: str):
+        """Distribute the decision; participants release locks (strict 2PL).
+
+        Decision messages are one-way: a participant that cannot be
+        reached holds its locks until its own partition change clears
+        them (strict mode) or until the lock timeout of a later
+        conflicting transaction breaks the wait.
+        """
+        if outcome not in ("commit", "abort"):
+            raise ValueError(f"unknown outcome {outcome!r}")
+        for server in sorted(ctx.participants):
+            if server == self.pid:
+                self._apply_decision(ctx.txn_id, outcome)
+            else:
+                self.processor.send(server, "release",
+                                    {"txn": ctx.txn_id, "outcome": outcome})
+        return
+        yield  # pragma: no cover - generator form for interface symmetry
+
+    def available(self, obj: str, write: bool) -> bool:
+        """R1 as a pure predicate (reads and writes gate identically)."""
+        return (self.state.assigned
+                and self.placement.accessible(obj, self.state.lview))
+
+    # ------------------------------------------------------------------
+    # server side: Fig. 12 — Physical-Access
+    # ------------------------------------------------------------------
+
+    def serve_physical_access(self):
+        """Dispatcher task: one handler process per incoming request."""
+        read_box = self.processor.mailbox("read")
+        write_box = self.processor.mailbox("write")
+        prepare_box = self.processor.mailbox("prepare")
+        release_box = self.processor.mailbox("release")
+        while True:
+            gets = {
+                "read": read_box.get(),
+                "write": write_box.get(),
+                "prepare": prepare_box.get(),
+                "release": release_box.get(),
+            }
+            fired = yield self.sim.any_of(list(gets.values()))
+            for kind, get in gets.items():
+                if get in fired:
+                    message = fired[get]
+                    if kind == "read":
+                        self.processor.spawn("serve-read",
+                                             self._handle_read(message))
+                    elif kind == "write":
+                        self.processor.spawn("serve-write",
+                                             self._handle_write(message))
+                    elif kind == "prepare":
+                        self._handle_prepare(message)
+                    else:
+                        self._handle_release(message)
+
+    def _handle_read(self, message):
+        payload = message.payload
+        obj, vpid, txn = payload["obj"], payload["v"], payload["txn"]
+        state = self.state
+        # Fig. 12: wait until (l not in locked) — the R5 gate.
+        yield from state.locked_changed.wait_for(
+            lambda: obj not in state.locked
+        )
+        if not (state.assigned and vpid == state.cur_id):
+            self.processor.reply(message, "read-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_WRONG_PARTITION})
+            return
+        granted, cc_reason = yield from self.cc.begin_read(
+            txn, payload.get("ts"), obj)
+        if not granted:
+            self.processor.reply(message, "read-reply",
+                                 {"ok": False,
+                                  "reason": cc_reason or REJECT_LOCK_TIMEOUT})
+            return
+        if not (state.assigned and vpid == state.cur_id):
+            # The partition changed while we waited for the lock.
+            self.processor.reply(message, "read-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_WRONG_PARTITION})
+            return
+        value, date = self.processor.store.read(obj)
+        version = self.processor.store.version(obj)
+        self.history.record_physical(
+            time=self.sim.now, txn=txn, kind="r", obj=obj,
+            copy_pid=self.pid, value=value, version=version, vpid=vpid,
+        )
+        self.processor.reply(message, "read-reply",
+                             {"ok": True, "value": value, "date": date,
+                              "version": version})
+
+    def _handle_write(self, message):
+        payload = message.payload
+        obj, vpid, txn = payload["obj"], payload["v"], payload["txn"]
+        value, version = payload["value"], payload["version"]
+        state = self.state
+        yield from state.locked_changed.wait_for(
+            lambda: obj not in state.locked
+        )
+        if not (state.assigned and vpid == state.cur_id):
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_WRONG_PARTITION})
+            return
+        granted, cc_reason = yield from self.cc.begin_write(
+            txn, payload.get("ts"), obj)
+        if not granted:
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False,
+                                  "reason": cc_reason or REJECT_LOCK_TIMEOUT})
+            return
+        if not (state.assigned and vpid == state.cur_id):
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_WRONG_PARTITION})
+            return
+        if txn in self._poisoned_txns:
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False, "reason": REJECT_POISONED})
+            return
+        images = self._before_images.setdefault(txn, {})
+        store = self.processor.store
+        old_date = store.date(obj)
+        if obj not in images:
+            old_value, _ = store.peek(obj)
+            images[obj] = (old_value, old_date, store.version(obj))
+        # Fig. 12 lines 11-12: value(l) <- val; date(l) <- cur-id —
+        # refined per §6 with a within-partition write counter, so the
+        # log catch-up can tell apart (and correctly order) multiple
+        # writes carrying the same partition identifier.  Strict 2PL
+        # orders writes of one object identically at every copy, so the
+        # counters agree across up-to-date copies.
+        if (isinstance(old_date, tuple) and len(old_date) == 2
+                and old_date[0] == state.cur_id):
+            new_date = (state.cur_id, old_date[1] + 1)
+        else:
+            new_date = (state.cur_id, 1)
+        store.write(obj, value, new_date, version)
+        self.history.record_physical(
+            time=self.sim.now, txn=txn, kind="w", obj=obj,
+            copy_pid=self.pid, value=value, version=version, vpid=vpid,
+        )
+        self.processor.reply(message, "write-reply", {"ok": True})
+
+    def _handle_prepare(self, message):
+        verdict = self._vote(message.payload["txn"], message.payload)
+        if verdict is None:
+            self.processor.reply(message, "prepare-reply", {"ok": True})
+        else:
+            self.processor.reply(message, "prepare-reply",
+                                 {"ok": False, "reason": verdict})
+
+    def _vote(self, txn, payload) -> str | None:
+        """R4 vote; None means yes, otherwise the refusal reason."""
+        state = self.state
+        if txn in self._poisoned_txns:
+            return REJECT_POISONED
+        if state.assigned and state.cur_id in payload["vpids"]:
+            return None  # still in a partition the transaction used
+        if not self.config.weakened_r4:
+            return REJECT_WRONG_PARTITION
+        if not state.assigned:
+            return REJECT_WRONG_PARTITION
+        # Weakened R4 (§6): conditions (1) and (2) on the current view.
+        objects_ok = all(
+            self.placement.accessible(obj, state.lview)
+            for obj in payload["objects"]
+        )
+        participants_ok = set(payload["participants"]) <= state.lview
+        if objects_ok and participants_ok:
+            return None
+        return REJECT_WRONG_PARTITION
+
+    def _handle_release(self, message) -> None:
+        self._apply_decision(message.payload["txn"],
+                             message.payload["outcome"])
+
+    def _apply_decision(self, txn, outcome: str) -> None:
+        if outcome == "abort":
+            images = self._before_images.pop(txn, {})
+            for obj, (value, date, version) in images.items():
+                self.processor.store.install(obj, value, date, version)
+        else:
+            self._before_images.pop(txn, None)
+        self._poisoned_txns.discard(txn)
+        self.cc.finish(txn, outcome)
+
+    # ------------------------------------------------------------------
+    # partition-change effects on transactions (rule R4, strict mode)
+    # ------------------------------------------------------------------
+
+    def on_partition_change(self) -> None:
+        """Called on every join: strict R4 force-aborts local participants.
+
+        Their writes are rolled back and their locks dropped so the new
+        partition's Update-Copies sees clean copies; the transactions'
+        coordinators learn about it at prepare time.  In weakened mode
+        locks survive — condition (3) is honoured by recovery reads
+        taking shared locks.
+        """
+        if self.config.weakened_r4:
+            return
+        for txn in sorted(self.cc.active_txns(), key=repr):
+            self._poisoned_txns.add(txn)
+            self._apply_decision(txn, "abort")
+            self._poisoned_txns.add(txn)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _weakened_ok_locally(self, ctx) -> bool:
+        """Coordinator-side weakened-R4 screen (participants re-check)."""
+        if not self.config.weakened_r4:
+            return False
+        state = self.state
+        if not state.assigned:
+            return False
+        objects_ok = all(
+            self.placement.accessible(obj, state.lview)
+            for obj in ctx.objects
+        )
+        return objects_ok and ctx.participants <= state.lview

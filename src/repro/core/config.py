@@ -1,0 +1,121 @@
+"""Tunable protocol parameters.
+
+Collects the paper's constants (δ, π) and the §6 optimization switches
+in one validated place, so experiments can sweep them and ablations can
+flip them independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+#: Update-Copies reads every copy in the view (Fig. 9 as written).
+INIT_READ_ALL = "read-all"
+#: Update-Copies reads one copy chosen via previous-partition info (§6).
+INIT_PREVIOUS = "previous"
+
+#: Recovery ships the whole object value.
+CATCHUP_FULL = "full-copy"
+#: Recovery ships only the write-log entries the copy missed (§6).
+CATCHUP_LOG = "log"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """All knobs of the virtual partition protocol.
+
+    ``delta`` is δ — the bound on one-way message delay; the protocol's
+    2δ/3δ waits and the liveness bound Δ = π + 8δ derive from it.
+    ``pi`` is π — the probe period; it must exceed 2δ because Fig. 7
+    spends 2δ of each period collecting acknowledgements.
+    """
+
+    delta: float = 1.0
+    pi: float = 10.0
+    #: retry a failed physical read at the next-nearest copy before
+    #: aborting (the parenthetical in rule R2)
+    read_retry: bool = False
+    #: partition initialization strategy (Fig. 9 vs §6 optimization)
+    init_strategy: str = INIT_READ_ALL
+    #: what recovery transfers: whole values or missed log entries (§6)
+    catchup: str = CATCHUP_FULL
+    #: skip initialization entirely when a partition is a pure split-off
+    #: of its members' common previous partition (§6)
+    split_off_fastpath: bool = False
+    #: use the weakened rule R4 for 2PL (§6 conditions (1)–(3)) instead
+    #: of aborting every transaction on any view change
+    weakened_r4: bool = False
+    #: how long a physical access may wait for a copy lock before the
+    #: transaction gives up (deadlock breaking), in multiples of delta
+    lock_timeout_deltas: float = 20.0
+    #: timeout for any single remote physical access, in multiples of
+    #: delta (one message each way = 2δ, plus server-side lock waiting)
+    access_timeout_deltas: float = 24.0
+    #: concurrency control protocol (assumption A1): strict two-phase
+    #: locking ("2pl") or strict timestamp ordering ("tso")
+    cc: str = "2pl"
+    #: optional per-processor probe phase offset (pid -> delay before the
+    #: first probe round).  Real failure detectors are not synchronized;
+    #: a processor with a large phase is "slow to detect" failures (§4's
+    #: stale-read discussion).  None = everyone probes immediately.
+    probe_phase: Optional[Callable[[int], float]] = None
+
+    def __post_init__(self):
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive: {self.delta}")
+        if self.pi <= 2 * self.delta:
+            raise ValueError(
+                f"probe period pi={self.pi} must exceed 2*delta={2 * self.delta} "
+                "(Fig. 7 spends 2 delta collecting acks each period)"
+            )
+        if self.init_strategy not in (INIT_READ_ALL, INIT_PREVIOUS):
+            raise ValueError(f"unknown init_strategy {self.init_strategy!r}")
+        if self.catchup not in (CATCHUP_FULL, CATCHUP_LOG):
+            raise ValueError(f"unknown catchup {self.catchup!r}")
+        if self.lock_timeout_deltas <= 0 or self.access_timeout_deltas <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.cc not in ("2pl", "tso"):
+            raise ValueError(f"unknown concurrency control {self.cc!r}")
+
+    # -- derived constants -------------------------------------------------
+
+    @property
+    def timer_slack(self) -> float:
+        """Tie-breaking slack added to protocol timers.
+
+        "Delivered within the time limit" (§3) means delay ≤ δ, so a
+        reply to a message sent now can arrive at *exactly* now + 2δ —
+        and a timer set to a bare 2δ would fire first and declare the
+        sender dead.  A small ε > 0 makes the deadline inclusive.
+        """
+        return 1e-3 * self.delta
+
+    @property
+    def invite_wait(self) -> float:
+        """Fig. 5 line 5: the initiator collects accepts for 2δ."""
+        return 2 * self.delta + self.timer_slack
+
+    @property
+    def commit_wait(self) -> float:
+        """Fig. 6 line 9: an acceptor waits 3δ for the commit."""
+        return 3 * self.delta + 2 * self.timer_slack
+
+    @property
+    def probe_ack_wait(self) -> float:
+        """Fig. 7 line 11: 2δ for probe acknowledgements."""
+        return 2 * self.delta + self.timer_slack
+
+    @property
+    def liveness_bound(self) -> float:
+        """Δ = π + 8δ (§5): view convergence bound after a clique forms."""
+        return self.pi + 8 * self.delta
+
+    @property
+    def lock_timeout(self) -> float:
+        return self.lock_timeout_deltas * self.delta
+
+    @property
+    def access_timeout(self) -> float:
+        return self.access_timeout_deltas * self.delta

@@ -1,0 +1,266 @@
+"""Figure 9 + §6: ``Update-Copies-in-View`` (rule R5).
+
+After a processor joins a partition, every accessible local copy is
+locked until it provably holds the most recent value of its logical
+object.  Because ≺ is a legal creation order (Theorem 1'), "most
+recent" is simply "largest date among the copies in the view".
+
+Strategies (ablated by ``benchmarks/bench_init_cost.py``):
+
+* ``read-all`` — Fig. 9 as written: read every copy in the view, keep
+  the one with the largest date.
+* ``previous`` — §6: each acceptor's previous partition id and the
+  objects accessible there travel with the creation protocol; the
+  member holding the maximal such id already has the freshest copy, so
+  one read (or none, if that member is us) suffices.
+* split-off fast path — when every member of the new partition comes
+  from one common previous partition, copies of objects accessible
+  there are already up to date: unlock with no reads at all.
+* ``log`` catch-up — ship only the write-log entries the stale copy
+  missed instead of the whole value (cost = entries, not object size).
+
+Recovery reads use a dedicated ``vpread`` message served *without* the
+Fig. 12 locked-set wait: with it, two holders updating the same object
+would block on each other forever (each waits for the other's unlock
+before answering).  They do take a short shared lock, which is exactly
+condition (3) of the weakened R4: recovery never reads a copy locked
+for writing.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..node.processor import NoResponse
+
+
+class UpdateMixin:
+    """Partition initialization (rule R5) with the §6 optimizations."""
+
+    def _schedule_update_copies(self) -> None:
+        """The ``schedule(Update-Copies-in-View)`` of Figs. 5 and 6."""
+        self._update_process = self.processor.spawn(
+            "update-copies", self._update_copies_task()
+        )
+
+    def _update_copies_task(self):
+        """Fig. 9 outer loop: one parallel worker per locked object."""
+        state = self.state
+        old_id = state.cur_id
+        objects = sorted(state.locked)
+        if not objects:
+            return
+        split_off_objects = (
+            self._split_off_fresh_objects() if self.config.split_off_fastpath
+            else frozenset()
+        )
+        workers = []
+        for obj in objects:
+            if obj in split_off_objects:
+                # §6: pure split-off — the copy is known fresh already.
+                state.unlock_object(obj)
+                self.metrics.recoveries += 1
+                self.history.record_recovery(time=self.sim.now, pid=self.pid,
+                                             obj=obj, vpid=old_id)
+                continue
+            workers.append(self.processor.spawn(
+                f"update({obj})", self._update_one_object(obj, old_id)
+            ))
+        if workers:
+            yield self.sim.all_of(workers)
+
+    def _split_off_fresh_objects(self) -> frozenset:
+        """Objects provably fresh because the partition is a split-off.
+
+        Requires every member to come from one common previous partition
+        *and*, per object, every copy-holding member to have had the
+        object accessible there (otherwise that copy may predate the
+        previous partition and still be stale).
+        """
+        state = self.state
+        previous_map = state.previous_map
+        if not previous_map or set(previous_map) < set(state.lview):
+            return frozenset()
+        previous_ids = {prev for prev, _ in previous_map.values()}
+        if len(previous_ids) != 1:
+            return frozenset()
+        fresh = set()
+        for obj in state.locked:
+            holders = self.placement.copies(obj) & state.lview
+            if holders and all(
+                obj in previous_map[holder][1] for holder in holders
+            ):
+                fresh.add(obj)
+        return frozenset(fresh)
+
+    def _update_one_object(self, obj: str, old_id):
+        """Fig. 9 inner loop for one object, honouring the strategy."""
+        state = self.state
+        store = self.processor.store
+        local_value, local_date = store.peek(obj)
+        best = (local_date, local_value, store.version(obj))
+        units = 0
+        entries_to_apply = None
+
+        sources = self._recovery_sources(obj)
+        if sources:
+            results = yield from self._read_sources(obj, sources)
+            if results is None:
+                # Fig. 9 line 12's [no-response]: the view is wrong;
+                # leave the object locked — the next partition's update
+                # (with a fresh locked set) takes over.
+                self.create_new_vp()
+                return
+            for payload in results:
+                units += payload.get("units", 0)
+                date = payload["date"]
+                if self._date_newer(date, best[0]):
+                    best = (date, payload["value"], payload["version"])
+                    entries_to_apply = payload.get("entries")
+
+        # Fig. 9 lines 15-17: install only if still in the same partition.
+        if not (state.assigned and state.cur_id == old_id):
+            return
+        if self._date_newer(best[0], local_date):
+            if entries_to_apply is not None:
+                store.apply_log(obj, entries_to_apply)
+            else:
+                store.install(obj, best[1], best[0], best[2])
+        self.metrics.transfer_units += units
+        self.metrics.recoveries += 1
+        self.history.record_recovery(time=self.sim.now, pid=self.pid,
+                                     obj=obj, vpid=old_id)
+        state.unlock_object(obj)
+
+    def _recovery_sources(self, obj: str) -> list[int]:
+        """Which remote copies to read, per the configured strategy."""
+        state = self.state
+        holders = sorted(
+            (self.placement.copies(obj) & state.lview) - {self.pid}
+        )
+        if self.config.init_strategy == "read-all" or not state.previous_map:
+            return holders
+        # §6 optimized search: among view members holding a copy for
+        # which the object was accessible in their previous partition,
+        # the one with the maximal previous id has the freshest copy.
+        candidates = [
+            (state.previous_map[holder][0], holder)
+            for holder in set(holders) | {self.pid}
+            if holder in state.previous_map
+            and obj in state.previous_map[holder][1]
+        ]
+        if not candidates:
+            return holders  # no usable info: fall back to Fig. 9
+        _best_prev, best_holder = max(candidates)
+        if best_holder == self.pid:
+            return []  # our copy is already the freshest: no reads
+        return [best_holder]
+
+    def _read_sources(self, obj: str, sources: list[int]):
+        """Issue vpread RPCs in parallel; None signals a no-response."""
+        state = self.state
+        want_log = self.config.catchup == "log"
+        _, local_date = self.processor.store.peek(obj)
+
+        def one_read(server):
+            payload = {
+                "obj": obj,
+                "v": state.cur_id,
+                "after": local_date if want_log else None,
+                "mode": "log" if want_log else "full",
+            }
+            try:
+                response = yield from self.processor.rpc(
+                    server, "vpread", payload,
+                    timeout=self.config.access_timeout,
+                )
+            except NoResponse:
+                return None
+            return response.payload
+
+        readers = [
+            self.processor.spawn(f"vpread({obj})<-{server}", one_read(server))
+            for server in sources
+        ]
+        fired = yield self.sim.all_of(readers)
+        payloads = []
+        for reader in readers:
+            payload = fired[reader]
+            if payload is None:
+                return None
+            if not payload["ok"]:
+                # The source is in another partition or its copy is
+                # write-locked; treat like silence — R5 must not read it.
+                return None
+            payloads.append(payload)
+        return payloads
+
+    # ------------------------------------------------------------------
+    # server side: answering recovery reads
+    # ------------------------------------------------------------------
+
+    def serve_vpread(self):
+        """Dispatcher for ``vpread`` requests (see module docstring)."""
+        box = self.processor.mailbox("vpread")
+        while True:
+            message = yield box.get()
+            self.processor.spawn("vpread-handler",
+                                 self._handle_vpread(message))
+
+    def _handle_vpread(self, message):
+        payload = message.payload
+        obj = payload["obj"]
+        state = self.state
+        if not (state.assigned and payload["v"] == state.cur_id):
+            # The requester may simply be ahead of us: its commit for
+            # the same partition can still be in flight (message delays
+            # are independent).  Wait up to the commit timeout for our
+            # own join before giving up — Fig. 12's plain "if" (silence)
+            # would make the requester declare us dead over a race the
+            # network is allowed to produce.
+            deadline = self.sim.now + self.config.commit_wait
+            while (payload["v"] > state.cur_id or not state.assigned) \
+                    and self.sim.now < deadline:
+                change = state.partition_changed.wait()
+                tick = self.sim.timeout(max(deadline - self.sim.now, 0.0))
+                yield self.sim.any_of([change, tick])
+        if not (state.assigned and payload["v"] == state.cur_id):
+            self.processor.reply(message, "vpread-reply",
+                                 {"ok": False, "reason": "wrong-partition"})
+            return
+        # Condition (3) of the weakened R4: never ship a value a live
+        # transaction is overwriting.  The CC strategy provides the gate
+        # (a brief shared lock under 2PL; an uncommitted-writer wait
+        # under TSO).
+        granted = yield from self.cc.stable_read_gate(obj)
+        if not granted:
+            self.processor.reply(message, "vpread-reply",
+                                 {"ok": False, "reason": "write-locked"})
+            return
+        store = self.processor.store
+        value, date = store.peek(obj)
+        version = store.version(obj)
+        if payload["mode"] == "log":
+            entries = store.log_since(obj, payload["after"])
+            units = len(entries)
+        else:
+            entries = None
+            units = store.size(obj)
+        self.processor.reply(message, "vpread-reply", {
+            "ok": True, "value": value, "date": date,
+            "version": version, "entries": entries, "units": units,
+        })
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _date_newer(candidate, reference) -> bool:
+        """Is ``candidate`` a strictly newer logical date than ``reference``?
+
+        ``None`` (never written) is older than everything.
+        """
+        if candidate is None:
+            return False
+        if reference is None:
+            return True
+        return candidate > reference

@@ -1,0 +1,31 @@
+"""Protocol-level exceptions."""
+
+from __future__ import annotations
+
+
+class ReplicaControlError(Exception):
+    """Base class for replica control failures."""
+
+
+class AccessAborted(ReplicaControlError):
+    """A logical operation could not be performed (Figs. 10–11 ``abort``).
+
+    Raised when the object is inaccessible from the local view (R1
+    fails), when a required physical access gets no response, or when a
+    server rejects the access because the requester's partition id is
+    stale (R4).
+    """
+
+    def __init__(self, obj: str, reason: str):
+        super().__init__(f"access to {obj!r} aborted: {reason}")
+        self.obj = obj
+        self.reason = reason
+
+
+class TransactionAborted(ReplicaControlError):
+    """The whole transaction must abort (and may be retried)."""
+
+    def __init__(self, txn_id, reason: str):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason

@@ -1,0 +1,47 @@
+"""Virtual partition identifiers and their total order (§5, Fig. 3).
+
+A vp-id is a pair ``(n, p)`` of a sequence number and the creating
+processor's id, ordered by::
+
+    (n, p) ≺ (n', p')  ⟺  n < n'  ∨  (n = n' ∧ p < p')
+
+The paper proves this order is a *legal creation order* (satisfies S3),
+which is what lets Update-Copies-in-View identify the most recent value
+of an object as the one with the largest date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class VpId:
+    """A globally unique, totally ordered virtual partition identifier."""
+
+    n: int
+    pid: int
+
+    def __post_init__(self):
+        if self.n < 0:
+            raise ValueError(f"sequence number must be non-negative: {self.n}")
+
+    def successor(self, pid: int) -> "VpId":
+        """The id a processor ``pid`` generates after seeing this one
+        (Fig. 4 line 4: ``(max-id.n + 1, myid)``)."""
+        return VpId(self.n + 1, pid)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, VpId):
+            return NotImplemented
+        return (self.n, self.pid) < (other.n, other.pid)
+
+    def __repr__(self) -> str:
+        return f"vp({self.n},{self.pid})"
+
+
+def initial_vp_id(pid: int) -> VpId:
+    """The id a freshly booted processor assigns itself (Fig. 3 line 3)."""
+    return VpId(0, pid)

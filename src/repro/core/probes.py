@@ -1,0 +1,88 @@
+"""Figures 7–8: periodic probing.
+
+``Send-Probes`` enforces the liveness constraint L1: every π time
+units, an assigned processor probes everyone, collects acknowledgements
+for 2δ, and triggers a new partition if the answering set differs from
+its view.  ``Monitor-Probes`` answers probes carrying the *same*
+partition id, ignores lower ones (stale messages), and reacts to higher
+ones — a higher-id probe is unambiguous evidence that two different
+virtual partitions can communicate and should merge.
+
+Together these tasks give the paper's convergence bound Δ = π + 8δ
+(measured by ``benchmarks/bench_liveness.py``).
+"""
+
+from __future__ import annotations
+
+from ..sim import Timer
+
+
+class ProbesMixin:
+    """Failure/recovery detection through periodic probes."""
+
+    def send_probes(self):
+        """Fig. 7: probe every period π while assigned."""
+        state = self.state
+        config = self.config
+        timer = Timer(self.sim, name=f"p{self.pid}.probe")
+        ack_box = self.processor.mailbox("probe-ack")
+        sequence = 0
+        if config.probe_phase is not None:
+            phase = config.probe_phase(self.pid)
+            if phase < 0:
+                raise ValueError(f"negative probe phase {phase}")
+            if phase:
+                yield self.sim.timeout(phase)
+        while True:
+            if not state.assigned:
+                yield self.sim.timeout(config.pi)
+                continue
+            current = state.cur_id
+            for pid in sorted(self.all_pids):
+                if pid != self.pid:
+                    self.processor.send(pid, "probe", {
+                        "from": self.pid, "v": current, "m": sequence,
+                    })
+            responders = {self.pid}
+            timer.set(config.probe_ack_wait)
+            while True:
+                get = ack_box.get()
+                tick = timer.wait()
+                fired = yield self.sim.any_of([get, tick])
+                if get in fired:
+                    message = fired[get]
+                    if message.payload["m"] == sequence:
+                        responders.add(message.payload["from"])
+                else:
+                    break
+            # Fig. 7 line 21: any discrepancy triggers a new partition.
+            if state.assigned and responders != state.lview:
+                self.create_new_vp()
+            sequence += 1
+            yield self.sim.timeout(config.pi - config.probe_ack_wait)
+
+    def monitor_probes(self):
+        """Fig. 8: answer, ignore, or react to incoming probes."""
+        state = self.state
+        probe_box = self.processor.mailbox("probe")
+        while True:
+            message = yield probe_box.get()
+            if not state.assigned:
+                continue
+            probed_id = message.payload["v"]
+            if probed_id == state.cur_id:
+                self.processor.send(message.payload["from"], "probe-ack", {
+                    "from": self.pid, "m": message.payload["m"],
+                })
+            elif probed_id < state.cur_id:
+                pass  # an old, delayed message — skip (Fig. 8 line 6)
+            else:
+                # Proof of cross-partition communication: merge.  The
+                # probe's id has been "seen", so fold it into max-id
+                # before minting the successor — otherwise the new
+                # partition could carry a *lower* id than the probed one
+                # and its invitations would be refused, costing extra
+                # rounds beyond the Delta = pi + 8*delta bound.
+                if state.max_id < probed_id:
+                    state.max_id = probed_id
+                self.create_new_vp()

@@ -1,0 +1,150 @@
+"""The per-processor shared protocol state (Fig. 3).
+
+Concrete variables and their relation to the paper's abstract
+functions::
+
+    defview(p)  =  assigned
+    assigned    ⇒  vp(p) = cur_id  ∧  view(p) = lview
+
+``max_id`` is kept durable (a crash-surviving cell): identifiers must
+keep growing across crashes or a recovering processor could mint an
+id it already used, breaking the total order's role as a creation
+order.  Everything else is volatile and reset by a crash.
+
+Critical sections (the ``< ... >`` brackets of the pseudocode) need no
+explicit locks here: protocol tasks only interleave at ``yield`` points,
+so any yield-free block is atomic — the implementation keeps every
+bracketed region yield-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from ..node.storage import DurableCell
+from ..sim import Notifier, Simulator
+from .ids import VpId, initial_vp_id
+
+
+class ReplicaState:
+    """Fig. 3's shared variables, plus bookkeeping for §6 optimizations."""
+
+    def __init__(self, pid: int, sim: Simulator, history=None):
+        self.pid = pid
+        self.sim = sim
+        self.history = history
+        boot_id = initial_vp_id(pid)
+        self.cur_id: VpId = boot_id
+        self._max_id = DurableCell(boot_id)     # durable across crashes
+        self.assigned: bool = True
+        self.lview: Set[int] = {pid}
+        self.locked: Set[str] = set()
+        self.locked_changed = Notifier(sim, name=f"p{pid}.locked")
+        self.partition_changed = Notifier(sim, name=f"p{pid}.partition")
+        #: info distributed with the commit of the current partition:
+        #: member pid -> (previous vp-id, objects accessible there)
+        self.previous_map: Dict[int, tuple] = {}
+        #: views of partitions this processor committed to (vpid -> view);
+        #: used by the weakened-R4 validation
+        self.view_history: Dict[VpId, frozenset] = {boot_id: frozenset({pid})}
+        #: bumped on every join/depart so in-flight operations can detect
+        #: that the partition changed under them
+        self.epoch: int = 0
+        if history is not None:
+            history.record_join(time=sim.now, pid=pid, vpid=boot_id,
+                                view={pid})
+
+    # -- max-id (durable) ------------------------------------------------------
+
+    @property
+    def max_id(self) -> VpId:
+        return self._max_id.value
+
+    @max_id.setter
+    def max_id(self, value: VpId) -> None:
+        if value < self._max_id.value:
+            raise ValueError(
+                f"max_id must not decrease: {self._max_id.value} -> {value}"
+            )
+        self._max_id.value = value
+
+    # -- partition membership ----------------------------------------------------
+
+    def depart(self) -> None:
+        """Leave the current partition (sets ``defview`` false).
+
+        Departing is unilateral and requires no communication — the
+        paper stresses a processor must be able to depart autonomously
+        since it may no longer reach anyone.
+        """
+        if not self.assigned:
+            return
+        self.assigned = False
+        self.epoch += 1
+        self.partition_changed.notify_all()
+        if self.history is not None:
+            self.history.record_depart(time=self.sim.now, pid=self.pid,
+                                       vpid=self.cur_id)
+
+    def join(self, vpid: VpId, view: Set[int],
+             previous_map: Optional[Dict[int, tuple]] = None) -> None:
+        """Commit to partition ``vpid`` with the agreed ``view``."""
+        if self.assigned:
+            # S3: a processor departs before joining a new partition.
+            self.depart()
+        self.cur_id = vpid
+        self.lview = set(view)
+        self.assigned = True
+        self.epoch += 1
+        self.previous_map = dict(previous_map or {})
+        self.partition_changed.notify_all()
+        self.view_history[vpid] = frozenset(view)
+        if self.history is not None:
+            self.history.record_join(time=self.sim.now, pid=self.pid,
+                                     vpid=vpid, view=view)
+
+    # -- the locked set (R5 gating) ---------------------------------------------
+
+    def lock_objects(self, objects: Set[str]) -> None:
+        """Mark objects awaiting Update-Copies; transactions must wait."""
+        self.locked |= objects
+        # waiters re-check their predicate; no spurious progress
+        self.locked_changed.notify_all()
+
+    def unlock_object(self, obj: str) -> None:
+        """Release one object after its copy is up to date."""
+        self.locked.discard(obj)
+        self.locked_changed.notify_all()
+
+    def clear_locked(self) -> None:
+        self.locked.clear()
+        self.locked_changed.notify_all()
+
+    # -- crash/recover hooks ---------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash: views and assignment are volatile and vanish."""
+        if self.assigned and self.history is not None:
+            self.history.record_depart(time=self.sim.now, pid=self.pid,
+                                       vpid=self.cur_id)
+        self.assigned = False
+        self.lview = {self.pid}
+        self.previous_map = {}
+        self.epoch += 1
+        self.clear_locked()
+
+    def reboot(self) -> None:
+        """Recover: come up alone in a fresh trivial partition.
+
+        The durable ``max_id`` guarantees the new identifier exceeds
+        anything this processor used before the crash; probing then
+        merges it with whoever is reachable.
+        """
+        fresh = self.max_id.successor(self.pid)
+        self.max_id = fresh
+        self.join(fresh, {self.pid})
+
+    def __repr__(self) -> str:
+        flag = "assigned" if self.assigned else "unassigned"
+        return (f"ReplicaState(p{self.pid} {flag} cur={self.cur_id} "
+                f"max={self.max_id} view={sorted(self.lview)})")

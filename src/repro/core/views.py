@@ -1,0 +1,118 @@
+"""Copy placement, weights, and the accessibility test (rule R1).
+
+``copies: L → P(P)`` from the paper, extended with the integer weights
+that Example 2 and Gifford-style weighted voting need.  A logical object
+is *accessible* from a view iff the copies on processors in the view
+carry a strict majority of the object's total weight::
+
+    accessible(l, A)  ⟺  2 * weight(copies of l on A)  >  total weight of l
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class CopyPlacement:
+    """Where each logical object's copies live, and their weights."""
+
+    def __init__(self):
+        self._placement: Dict[str, Dict[int, int]] = {}
+        self._sizes: Dict[str, int] = {}
+
+    # -- declaration ------------------------------------------------------------
+
+    def place(self, obj: str, holders: Mapping[int, int] | Iterable[int],
+              size: int = 1) -> None:
+        """Declare the copies of ``obj``.
+
+        ``holders`` is either a ``{pid: weight}`` mapping or an iterable
+        of pids (all weight 1).  ``size`` is the transfer-cost unit used
+        by the partition-initialization benchmarks.
+        """
+        if obj in self._placement:
+            raise KeyError(f"{obj!r} already placed")
+        if isinstance(holders, Mapping):
+            weights = {int(p): int(w) for p, w in holders.items()}
+        else:
+            weights = {int(p): 1 for p in holders}
+        if not weights:
+            raise ValueError(f"{obj!r} needs at least one copy")
+        bad = [p for p, w in weights.items() if w < 1]
+        if bad:
+            raise ValueError(f"weights must be positive; bad processors {bad}")
+        if size < 1:
+            raise ValueError("size must be at least 1")
+        self._placement[obj] = weights
+        self._sizes[obj] = size
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def objects(self) -> set[str]:
+        """All declared logical objects."""
+        return set(self._placement)
+
+    def copies(self, obj: str) -> set[int]:
+        """The processors holding a copy of ``obj``."""
+        return set(self._weights(obj))
+
+    def weight(self, obj: str, pid: int) -> int:
+        """The weight of ``pid``'s copy of ``obj`` (0 if it has none)."""
+        return self._weights(obj).get(pid, 0)
+
+    def total_weight(self, obj: str) -> int:
+        """Sum of all copy weights of ``obj``."""
+        return sum(self._weights(obj).values())
+
+    def size(self, obj: str) -> int:
+        """Declared object size (cost unit for full-copy transfers)."""
+        self._weights(obj)
+        return self._sizes[obj]
+
+    def accessible(self, obj: str, view: Iterable[int]) -> bool:
+        """Rule R1's majority test: does ``view`` hold a weighted majority
+        of the copies of ``obj``?"""
+        members = set(view)
+        weights = self._weights(obj)
+        in_view = sum(w for p, w in weights.items() if p in members)
+        return 2 * in_view > self.total_weight(obj)
+
+    def accessible_objects(self, view: Iterable[int],
+                           local: Iterable[str] | None = None) -> set[str]:
+        """Objects accessible from ``view``; optionally intersected with a
+        ``local`` object set (Fig. 5 line 18's locked-set computation)."""
+        members = set(view)
+        candidates = self.objects if local is None else set(local)
+        return {
+            obj for obj in candidates
+            if obj in self._placement and self.accessible(obj, members)
+        }
+
+    def local_objects(self, pid: int) -> set[str]:
+        """Objects with a copy on ``pid`` (Fig. 3's ``local``)."""
+        return {obj for obj, weights in self._placement.items()
+                if pid in weights}
+
+    def holders_by_distance(self, obj: str, view: Iterable[int],
+                            distance) -> list[int]:
+        """Copy holders inside ``view``, nearest first (rule R2).
+
+        ``distance(pid) -> float`` is supplied by the caller (usually the
+        latency model's distance from the reading processor).  Ties break
+        on pid for determinism.
+        """
+        members = set(view)
+        candidates = [p for p in self._weights(obj) if p in members]
+        return sorted(candidates, key=lambda p: (distance(p), p))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _weights(self, obj: str) -> Dict[int, int]:
+        try:
+            return self._placement[obj]
+        except KeyError:
+            raise KeyError(f"unknown logical object {obj!r}") from None
+
+    def __repr__(self) -> str:
+        return f"CopyPlacement({len(self._placement)} objects)"

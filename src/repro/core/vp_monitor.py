@@ -1,0 +1,62 @@
+"""Figure 6: the ``Monitor-VP-Creations`` task.
+
+Accepts invitations to higher-numbered partitions, waits (3δ) for the
+initiator's commit, and — if the commit never arrives (the acceptance
+was lost, the initiator died, or the commit was lost) — starts a fresh
+partition creation itself.  This timer is what makes partition creation
+self-healing under omission failures.
+"""
+
+from __future__ import annotations
+
+from ..sim import Timer
+
+
+class MonitorMixin:
+    """Acceptor side of virtual partition creation."""
+
+    def monitor_vp_creations(self):
+        state = self.state
+        timer = Timer(self.sim, name=f"p{self.pid}.monitor-vp")
+        newvp_box = self.processor.mailbox("newvp")
+        commit_box = self.processor.mailbox("commit")
+        while True:
+            newvp_get = newvp_box.get()
+            commit_get = commit_box.get()
+            tick = timer.wait()
+            fired = yield self.sim.any_of([newvp_get, commit_get, tick])
+
+            if newvp_get in fired:
+                message = fired[newvp_get]
+                invited_id = message.payload["id"]
+                # Fig. 6 lines 6-10: accept only strictly higher ids.
+                if state.max_id < invited_id:
+                    info = self._previous_info()
+                    state.max_id = invited_id
+                    state.depart()
+                    self.processor.send(invited_id.pid, "vp-accept", {
+                        "id": invited_id,
+                        "from": self.pid,
+                        "previous": info[0],
+                        "prev_accessible": sorted(info[1]),
+                    })
+                    timer.set(self.config.commit_wait)
+
+            elif commit_get in fired:
+                message = fired[commit_get]
+                committed_id = message.payload["id"]
+                # Fig. 6 lines 12-20: commit only to the id we accepted
+                # last; anything else is stale.
+                if committed_id == state.max_id:
+                    self._commit_partition(
+                        committed_id,
+                        set(message.payload["view"]),
+                        dict(message.payload["previous_map"]),
+                    )
+                    timer.reset()
+
+            else:
+                # Fig. 6 lines 22-24: no commit arrived in time; claim
+                # the next identifier and try to form a partition.
+                state.max_id = state.max_id.successor(self.pid)
+                self.schedule_create_vp(state.max_id)

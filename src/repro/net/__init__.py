@@ -1,0 +1,27 @@
+"""Network substrate: topology, latency, transport, failure injection."""
+
+from .failures import FailureInjector, RandomFailures
+from .latency import (
+    DistanceLatency,
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+    ring_distances,
+)
+from .message import Message
+from .network import Network, NetworkStats
+from .topology import CommGraph
+
+__all__ = [
+    "CommGraph",
+    "DistanceLatency",
+    "FailureInjector",
+    "FixedLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RandomFailures",
+    "UniformLatency",
+    "ring_distances",
+]

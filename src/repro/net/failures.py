@@ -1,0 +1,162 @@
+"""Failure injection: scripted schedules and random failure processes.
+
+The injector mutates the :class:`CommGraph` (and tells crashed
+processors to kill their tasks) at exact simulated instants, which is
+how the reproduction stages the paper's scenarios — e.g. Example 2's
+"re-partition while two processors still hold stale views" needs the
+partition to land between two specific protocol steps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from ..sim import Simulator
+from .topology import CommGraph
+
+Action = Callable[[], None]
+
+
+class FailureInjector:
+    """Applies scripted topology changes at scheduled times."""
+
+    def __init__(self, sim: Simulator, graph: CommGraph,
+                 processors: Optional[Mapping[int, Any]] = None):
+        self.sim = sim
+        self.graph = graph
+        self._processors: Mapping[int, Any] = processors or {}
+        #: chronological record of applied failures, for reports
+        self.log: list[tuple[float, str]] = []
+
+    def set_processors(self, processors: Mapping[int, Any]) -> None:
+        """Late-bind the pid → processor map (crash/recover targets)."""
+        self._processors = processors
+
+    # -- scheduling ------------------------------------------------------------
+
+    def at(self, time: float, action: Action, label: str = "") -> None:
+        """Run ``action`` at absolute simulated ``time``."""
+        delay = time - self.sim.now
+        if delay < 0:
+            raise ValueError(f"time {time} is in the past (now={self.sim.now})")
+
+        def fire(_event, act=action, lab=label):
+            self.log.append((self.sim.now, lab or getattr(act, "__name__", "?")))
+            act()
+
+        self.sim.timeout(delay, name=f"failure@{time}").add_callback(fire)
+
+    # -- convenience actions --------------------------------------------------
+
+    def crash_at(self, time: float, pid: int) -> None:
+        """Crash processor ``pid`` at ``time`` (tasks die, volatile state lost)."""
+        self.at(time, lambda: self._crash(pid), f"crash({pid})")
+
+    def recover_at(self, time: float, pid: int) -> None:
+        """Recover ``pid`` at ``time``; its protocol tasks restart."""
+        self.at(time, lambda: self._recover(pid), f"recover({pid})")
+
+    def cut_at(self, time: float, a: int, b: int) -> None:
+        """Cut the ``a``–``b`` link at ``time``."""
+        self.at(time, lambda: self.graph.cut_link(a, b), f"cut({a},{b})")
+
+    def heal_at(self, time: float, a: int, b: int) -> None:
+        """Heal the ``a``–``b`` link at ``time``."""
+        self.at(time, lambda: self.graph.heal_link(a, b), f"heal({a},{b})")
+
+    def partition_at(self, time: float,
+                     blocks: Sequence[Iterable[int]]) -> None:
+        """Impose a clean partition into ``blocks`` at ``time``."""
+        frozen = [list(block) for block in blocks]
+        self.at(time, lambda: self.graph.partition(frozen),
+                f"partition({frozen})")
+
+    def heal_all_at(self, time: float) -> None:
+        """Restore full connectivity (crashed nodes stay down) at ``time``."""
+        self.at(time, self.graph.heal_all, "heal_all")
+
+    # -- primitive operations ---------------------------------------------------
+
+    def _crash(self, pid: int) -> None:
+        self.graph.crash_node(pid)
+        processor = self._processors.get(pid)
+        if processor is not None:
+            processor.crash()
+
+    def _recover(self, pid: int) -> None:
+        self.graph.recover_node(pid)
+        processor = self._processors.get(pid)
+        if processor is not None:
+            processor.recover()
+
+
+class RandomFailures:
+    """A memoryless crash/repair process over nodes and links.
+
+    Crashes arrive per-processor as a Poisson process with mean
+    inter-arrival ``mttf``; each crash is repaired after an exponential
+    time with mean ``mttr``.  Link cuts behave analogously.  "Failures
+    are rare" in the paper's cost analysis corresponds to mttf much
+    larger than both the probe period π and transaction latency.
+    """
+
+    def __init__(self, injector: FailureInjector, rng: random.Random,
+                 node_mttf: float = 0.0, node_mttr: float = 50.0,
+                 link_mttf: float = 0.0, link_mttr: float = 50.0,
+                 horizon: float = float("inf")):
+        for name, value in (("node_mttf", node_mttf), ("node_mttr", node_mttr),
+                            ("link_mttf", link_mttf), ("link_mttr", link_mttr)):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+        self.injector = injector
+        self.rng = rng
+        self.node_mttf = node_mttf
+        self.node_mttr = node_mttr
+        self.link_mttf = link_mttf
+        self.link_mttr = link_mttr
+        self.horizon = horizon
+
+    def install(self) -> None:
+        """Spawn the background processes driving the failure streams."""
+        sim = self.injector.sim
+        graph = self.injector.graph
+        if self.node_mttf > 0:
+            for pid in sorted(graph.nodes):
+                sim.process(self._node_lifecycle(pid),
+                            name=f"random-node-failures({pid})")
+        if self.link_mttf > 0:
+            pairs = [
+                (a, b)
+                for a in sorted(graph.nodes)
+                for b in sorted(graph.nodes)
+                if a < b
+            ]
+            for a, b in pairs:
+                sim.process(self._link_lifecycle(a, b),
+                            name=f"random-link-failures({a},{b})")
+
+    def _node_lifecycle(self, pid: int):
+        sim = self.injector.sim
+        while sim.now < self.horizon:
+            yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttf))
+            if sim.now >= self.horizon:
+                return
+            self.injector.log.append((sim.now, f"random-crash({pid})"))
+            self.injector._crash(pid)
+            yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttr))
+            self.injector.log.append((sim.now, f"random-recover({pid})"))
+            self.injector._recover(pid)
+
+    def _link_lifecycle(self, a: int, b: int):
+        sim = self.injector.sim
+        graph = self.injector.graph
+        while sim.now < self.horizon:
+            yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttf))
+            if sim.now >= self.horizon:
+                return
+            self.injector.log.append((sim.now, f"random-cut({a},{b})"))
+            graph.cut_link(a, b)
+            yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttr))
+            self.injector.log.append((sim.now, f"random-heal({a},{b})"))
+            graph.heal_link(a, b)

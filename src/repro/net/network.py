@@ -1,0 +1,142 @@
+"""Message transport over the dynamic communication graph.
+
+Failure semantics implemented here (§2 of the paper — omission and
+performance failures):
+
+* **omission**: a message is dropped if the edge is absent at send time,
+  absent at the scheduled delivery time (the link died while the message
+  was in flight), the destination is down at delivery, or the per-link
+  loss process fires;
+* **performance**: with probability ``slow_prob`` a message is delayed
+  beyond the declared bound δ by factor ``slow_factor`` — it still
+  arrives, but later than the protocol's timers allow, which is exactly
+  how the paper distinguishes performance failures from crashes;
+* **duplication** is supported for robustness testing (off by default).
+
+Everything is counted in :class:`NetworkStats` so the benchmark harness
+can report message costs per logical operation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..sim import Simulator
+from .latency import LatencyModel
+from .message import Message
+from .topology import CommGraph
+
+DeliveryHandler = Callable[[Message], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters for everything the transport did."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_no_edge: int = 0
+    dropped_in_flight: int = 0
+    dropped_lost: int = 0
+    dropped_dst_down: int = 0
+    duplicated: int = 0
+    slow: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        return (self.dropped_no_edge + self.dropped_in_flight
+                + self.dropped_lost + self.dropped_dst_down)
+
+    def snapshot(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "slow": self.slow,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Network:
+    """Routes messages between registered processors."""
+
+    def __init__(self, sim: Simulator, graph: CommGraph,
+                 latency: LatencyModel, rng: random.Random,
+                 loss_prob: float = 0.0,
+                 slow_prob: float = 0.0, slow_factor: float = 5.0,
+                 dup_prob: float = 0.0):
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError(f"loss_prob out of range: {loss_prob}")
+        if not 0.0 <= slow_prob < 1.0:
+            raise ValueError(f"slow_prob out of range: {slow_prob}")
+        if not 0.0 <= dup_prob < 1.0:
+            raise ValueError(f"dup_prob out of range: {dup_prob}")
+        if slow_factor <= 1.0:
+            raise ValueError("slow_factor must exceed 1")
+        self.sim = sim
+        self.graph = graph
+        self.latency = latency
+        self.rng = rng
+        self.loss_prob = loss_prob
+        self.slow_prob = slow_prob
+        self.slow_factor = slow_factor
+        self.dup_prob = dup_prob
+        self.stats = NetworkStats()
+        self._handlers: dict[int, DeliveryHandler] = {}
+        #: optional wiretap for tests: called with every sent message
+        self.tap: Optional[Callable[[Message], None]] = None
+
+    @property
+    def delta(self) -> float:
+        """The δ bound the protocol's timers are derived from."""
+        return self.latency.bound
+
+    def register(self, pid: int, handler: DeliveryHandler) -> None:
+        """Attach the delivery callback for processor ``pid``."""
+        if pid not in self.graph.nodes:
+            raise KeyError(f"unknown processor {pid}")
+        self._handlers[pid] = handler
+
+    def send(self, message: Message) -> None:
+        """Put ``message`` in flight; delivery (or loss) is resolved later."""
+        if message.dst not in self.graph.nodes:
+            raise KeyError(f"unknown destination {message.dst}")
+        self.stats.sent += 1
+        self.stats.by_kind[message.kind] = (
+            self.stats.by_kind.get(message.kind, 0) + 1
+        )
+        if self.tap is not None:
+            self.tap(message)
+        if not self.graph.has_edge(message.src, message.dst):
+            self.stats.dropped_no_edge += 1
+            return
+        if self.loss_prob and self.rng.random() < self.loss_prob:
+            self.stats.dropped_lost += 1
+            return
+        delay = self.latency.delay(message.src, message.dst, self.rng)
+        if self.slow_prob and self.rng.random() < self.slow_prob:
+            delay *= self.slow_factor
+            self.stats.slow += 1
+        self._schedule_delivery(message, delay)
+        if self.dup_prob and self.rng.random() < self.dup_prob:
+            self.stats.duplicated += 1
+            dup_delay = self.latency.delay(message.src, message.dst, self.rng)
+            self._schedule_delivery(message, dup_delay)
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        arrival = self.sim.timeout(delay, name=f"deliver#{message.msg_id}")
+        arrival.add_callback(lambda _event, m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        if not self.graph.has_edge(message.src, message.dst):
+            self.stats.dropped_in_flight += 1
+            return
+        handler = self._handlers.get(message.dst)
+        if handler is None or not self.graph.node_up(message.dst):
+            self.stats.dropped_dst_down += 1
+            return
+        self.stats.delivered += 1
+        handler(message)

@@ -1,0 +1,177 @@
+"""The dynamic communication graph — the *can-communicate* relation.
+
+The paper's system model (§3): nodes are processors; an undirected edge
+means messages between the endpoints arrive within the bound δ.  The
+relation is explicitly **not** assumed transitive, so a cluster need not
+be a clique (Fig. 1 is exactly such a graph).
+
+The graph starts as a single clique (the no-failure state).  Failures
+remove edges three ways: an individual *link cut*, a *node crash*
+(removes all incident edges), or a *partition* (removes all inter-block
+edges).  Recoveries restore them.  ``version`` increments on every
+change so observers can cheaply detect staleness.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence
+
+
+def _edge(a: int, b: int) -> FrozenSet[int]:
+    if a == b:
+        raise ValueError(f"self-edge at {a}")
+    return frozenset((a, b))
+
+
+class CommGraph:
+    """Mutable undirected graph over a fixed processor set."""
+
+    def __init__(self, nodes: Iterable[int]):
+        self.nodes: FrozenSet[int] = frozenset(nodes)
+        if not self.nodes:
+            raise ValueError("a system needs at least one processor")
+        self._cut_links: set[FrozenSet[int]] = set()
+        self._down_nodes: set[int] = set()
+        self.version = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def node_up(self, p: int) -> bool:
+        """True if processor ``p`` has not crashed."""
+        self._check(p)
+        return p not in self._down_nodes
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` can currently exchange timely messages."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return a not in self._down_nodes
+        if a in self._down_nodes or b in self._down_nodes:
+            return False
+        return _edge(a, b) not in self._cut_links
+
+    def neighbors(self, p: int) -> set[int]:
+        """Processors adjacent to ``p`` (excluding ``p`` itself)."""
+        self._check(p)
+        if p in self._down_nodes:
+            return set()
+        return {q for q in self.nodes if q != p and self.has_edge(p, q)}
+
+    def clusters(self) -> list[set[int]]:
+        """Connected components of the current graph.
+
+        A crashed processor forms a trivial cluster by itself, matching
+        the paper's modelling of crashes.
+        """
+        remaining = set(self.nodes)
+        components = []
+        while remaining:
+            seed = min(remaining)  # deterministic order
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                for other in self.neighbors(node):
+                    if other not in component:
+                        component.add(other)
+                        frontier.append(other)
+            components.append(component)
+            remaining -= component
+        return components
+
+    def cluster_of(self, p: int) -> set[int]:
+        """The connected component containing ``p``."""
+        for component in self.clusters():
+            if p in component:
+                return component
+        raise AssertionError("unreachable: every node is in some cluster")
+
+    def is_clique(self, processors: Iterable[int]) -> bool:
+        """True if every pair in ``processors`` shares an edge."""
+        members = list(processors)
+        return all(
+            self.has_edge(a, b)
+            for i, a in enumerate(members)
+            for b in members[i + 1:]
+        )
+
+    def is_transitive(self) -> bool:
+        """True if every cluster is a clique (assumption A2)."""
+        return all(self.is_clique(c) for c in self.clusters())
+
+    def alive_nodes(self) -> set[int]:
+        """Processors that have not crashed."""
+        return set(self.nodes) - self._down_nodes
+
+    # -- mutations ------------------------------------------------------------
+
+    def cut_link(self, a: int, b: int) -> None:
+        """Sever the ``a``–``b`` link (omission failure on one route)."""
+        self._check(a)
+        self._check(b)
+        self._cut_links.add(_edge(a, b))
+        self.version += 1
+
+    def heal_link(self, a: int, b: int) -> None:
+        """Restore the ``a``–``b`` link."""
+        self._check(a)
+        self._check(b)
+        self._cut_links.discard(_edge(a, b))
+        self.version += 1
+
+    def crash_node(self, p: int) -> None:
+        """Take processor ``p`` down; all its edges disappear."""
+        self._check(p)
+        self._down_nodes.add(p)
+        self.version += 1
+
+    def recover_node(self, p: int) -> None:
+        """Bring ``p`` back; its non-cut links reappear."""
+        self._check(p)
+        self._down_nodes.discard(p)
+        self.version += 1
+
+    def partition(self, blocks: Sequence[Iterable[int]]) -> None:
+        """Cut every link between distinct blocks; heal links inside blocks.
+
+        Blocks must be disjoint; processors not mentioned form an
+        implicit final block together.
+        """
+        groups = [set(block) for block in blocks]
+        mentioned: set[int] = set()
+        for group in groups:
+            overlap = mentioned & group
+            if overlap:
+                raise ValueError(f"blocks overlap on {sorted(overlap)}")
+            mentioned |= group
+        unknown = mentioned - self.nodes
+        if unknown:
+            raise ValueError(f"unknown processors {sorted(unknown)}")
+        leftovers = set(self.nodes) - mentioned
+        if leftovers:
+            groups.append(leftovers)
+        block_of = {p: i for i, group in enumerate(groups) for p in group}
+        for a in self.nodes:
+            for b in self.nodes:
+                if a < b:
+                    if block_of[a] == block_of[b]:
+                        self._cut_links.discard(_edge(a, b))
+                    else:
+                        self._cut_links.add(_edge(a, b))
+        self.version += 1
+
+    def heal_all(self) -> None:
+        """Restore the failure-free single clique (links only, not crashes)."""
+        self._cut_links.clear()
+        self.version += 1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check(self, p: int) -> None:
+        if p not in self.nodes:
+            raise KeyError(f"unknown processor {p}")
+
+    def __repr__(self) -> str:
+        return (f"CommGraph(n={len(self.nodes)}, cut={len(self._cut_links)}, "
+                f"down={sorted(self._down_nodes)}, v={self.version})")

@@ -1,0 +1,13 @@
+"""Processor runtime: task hosting, mailboxes, RPC, durable storage."""
+
+from .processor import NoResponse, Processor
+from .storage import Copy, CopyStore, DurableCell, LogEntry
+
+__all__ = [
+    "Copy",
+    "CopyStore",
+    "DurableCell",
+    "LogEntry",
+    "NoResponse",
+    "Processor",
+]

@@ -1,0 +1,191 @@
+"""The processor runtime hosting protocol tasks.
+
+A :class:`Processor` owns:
+
+* typed mailboxes — one FIFO per message kind, fed by the network;
+* an RPC helper implementing the paper's ``send ... receive ...
+  [no-response: ...]`` pattern (Figs. 9–11) with reply matching and a
+  timeout;
+* a task registry: protocol layers register named generator factories;
+  tasks are (re)spawned on start/recover and killed on crash, matching
+  the paper's model where a crash wipes all volatile state but durable
+  storage (the :class:`~repro.node.storage.CopyStore`) survives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..net.message import Message
+from ..net.network import Network
+from ..sim import MessageQueue, Process, Simulator
+from .storage import CopyStore
+
+TaskFactory = Callable[[], Any]  # returns a generator
+
+
+class NoResponse(Exception):
+    """An expected reply did not arrive within the timeout.
+
+    This is the trigger for the paper's ``[no-response: Create-new-VP;
+    ...]`` exception handlers: a missing reply is evidence that the
+    local view no longer matches the can-communicate relation.
+    """
+
+    def __init__(self, dst: int, kind: str):
+        super().__init__(f"no response from {dst} to {kind!r}")
+        self.dst = dst
+        self.kind = kind
+
+
+class Processor:
+    """One node of the distributed system."""
+
+    def __init__(self, pid: int, sim: Simulator, network: Network):
+        self.pid = pid
+        self.sim = sim
+        self.network = network
+        self.store = CopyStore(pid)
+        self.alive = True
+        self._mailboxes: Dict[str, MessageQueue] = {}
+        self._reply_waiters: Dict[int, Any] = {}
+        self._task_factories: Dict[str, TaskFactory] = {}
+        self._tasks: Dict[str, Process] = {}
+        self._crash_hooks: list[Callable[[], None]] = []
+        self._recover_hooks: list[Callable[[], None]] = []
+        network.register(pid, self._on_delivery)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"Processor({self.pid}, {state})"
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: Mapping[str, Any]
+             | None = None) -> Message:
+        """Fire-and-forget send; returns the envelope (for reply matching)."""
+        message = Message(src=self.pid, dst=dst, kind=kind,
+                          payload=payload or {}, sent_at=self.sim.now)
+        self.network.send(message)
+        return message
+
+    def reply(self, request: Message, kind: str,
+              payload: Mapping[str, Any] | None = None) -> None:
+        """Respond to ``request``; routed back to its ``rpc`` waiter."""
+        response = Message(
+            src=self.pid, dst=request.src, kind=kind,
+            payload=payload or {}, reply_to=request.msg_id,
+            sent_at=self.sim.now,
+        )
+        self.network.send(response)
+
+    def rpc(self, dst: int, kind: str, payload: Mapping[str, Any] | None,
+            timeout: float):
+        """Generator: request/response with a deadline.
+
+        Use as ``response = yield from processor.rpc(...)``.  Raises
+        :class:`NoResponse` when no reply arrives within ``timeout`` —
+        the caller decides whether that aborts the operation, retries
+        elsewhere, or triggers a new virtual partition.
+        """
+        request = self.send(dst, kind, payload)
+        waiter = self.sim.event(name=f"rpc#{request.msg_id}")
+        self._reply_waiters[request.msg_id] = waiter
+        tick = self.sim.timeout(timeout, name=f"rpc-timeout#{request.msg_id}")
+        try:
+            result = yield self.sim.any_of([waiter, tick])
+        finally:
+            self._reply_waiters.pop(request.msg_id, None)
+        if waiter in result:
+            return result[waiter]
+        raise NoResponse(dst, kind)
+
+    def mailbox(self, kind: str) -> MessageQueue:
+        """The FIFO of unconsumed ``kind`` messages (created on demand)."""
+        if kind not in self._mailboxes:
+            self._mailboxes[kind] = MessageQueue(
+                self.sim, name=f"p{self.pid}.{kind}"
+            )
+        return self._mailboxes[kind]
+
+    def receive(self, kind: str):
+        """Event firing with the next ``kind`` message."""
+        return self.mailbox(kind).get()
+
+    def _on_delivery(self, message: Message) -> None:
+        if not self.alive:
+            return
+        if message.reply_to is not None:
+            waiter = self._reply_waiters.pop(message.reply_to, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(message)
+                return
+            # Late or duplicate reply: nobody is waiting; drop it.
+            return
+        self.mailbox(message.kind).put(message)
+
+    # -- task management ----------------------------------------------------------
+
+    def add_task(self, name: str, factory: TaskFactory) -> None:
+        """Register a long-running protocol task (spawned by :meth:`start`)."""
+        if name in self._task_factories:
+            raise KeyError(f"task {name!r} already registered on {self.pid}")
+        self._task_factories[name] = factory
+
+    def on_crash(self, hook: Callable[[], None]) -> None:
+        """Register a volatile-state reset hook, run on crash."""
+        self._crash_hooks.append(hook)
+
+    def on_recover(self, hook: Callable[[], None]) -> None:
+        """Register a reinitialization hook, run on recovery."""
+        self._recover_hooks.append(hook)
+
+    def start(self) -> None:
+        """Spawn all registered tasks (idempotent per task)."""
+        for name, factory in self._task_factories.items():
+            existing = self._tasks.get(name)
+            if existing is not None and existing.is_alive:
+                continue
+            self._tasks[name] = self.sim.process(
+                factory(), name=f"p{self.pid}.{name}"
+            )
+
+    def spawn(self, name: str, generator) -> Process:
+        """Run a one-shot auxiliary process tied to this processor's life."""
+        process = self.sim.process(generator, name=f"p{self.pid}.{name}")
+        self._tasks[f"{name}#{id(process)}"] = process
+        return process
+
+    # -- failure model ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Omission failure: all tasks die, volatile state is lost.
+
+        The durable :attr:`store` survives.  The caller (failure
+        injector) is responsible for also marking the node down in the
+        communication graph.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for process in self._tasks.values():
+            if process.is_alive:
+                process.kill()
+        self._tasks = {
+            name: process for name, process in self._tasks.items()
+            if name in self._task_factories
+        }
+        for mailbox in self._mailboxes.values():
+            mailbox.clear()
+        self._reply_waiters.clear()
+        for hook in self._crash_hooks:
+            hook()
+
+    def recover(self) -> None:
+        """Restart after a crash: hooks run, then tasks respawn."""
+        if self.alive:
+            return
+        self.alive = True
+        for hook in self._recover_hooks:
+            hook()
+        self.start()

@@ -1,0 +1,28 @@
+"""Thomas's majority consensus [T]: the unweighted quorum special case.
+
+Every copy gets exactly one vote regardless of placement weights, and
+both reads and writes require a simple majority of copies.  This is the
+second protocol the paper's cost comparison names; its read cost —
+⌊n/2⌋+1 physical accesses — is what the virtual partitions read-one
+rule undercuts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .quorum import QuorumProtocol
+
+
+class MajorityProtocol(QuorumProtocol):
+    """r = w = majority of the copy *count* (votes are uniform)."""
+
+    name = "majority"
+
+    def vote_weight(self, obj: str, pid: int) -> int:
+        return 1 if pid in self.placement.copies(obj) else 0
+
+    def thresholds(self, obj: str) -> Tuple[int, int]:
+        total = len(self.placement.copies(obj))
+        majority = total // 2 + 1
+        return majority, majority

@@ -1,0 +1,156 @@
+"""The §4 "clean-environment" rules *without* virtual partitions.
+
+This is the strawman the paper derives its protocol from: every
+processor keeps a private view of whom it can reach, gates accesses by
+a weighted majority over that view (rule A-style R1), reads the nearest
+in-view copy, and writes all in-view copies.  Under assumptions A2
+(transitive connectivity) and A3 (instant, consistent view updates) it
+is correct — and both assumptions are unrealistic:
+
+* with a **non-transitive** graph (Fig. 1), two processors with
+  overlapping majorities update through a common copy and lose updates
+  (Example 1);
+* with **asynchronous view updates** (Fig. 2, Tables 1–2), stale views
+  let four transactions run on purely local copies (Example 2).
+
+The scenario tests and ``benchmarks/bench_example1.py`` /
+``bench_example2.py`` run this protocol under exactly those failure
+timings and show the checker rejecting the executions as non-1SR,
+while the virtual partitions protocol under identical timing stays
+correct.
+
+Views refresh from the live communication graph every ``pi`` time
+units (modelling per-processor failure detectors with independent
+timing); tests may also set views directly to pin down the paper's
+exact interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.errors import AccessAborted
+from .base import ReplicaControlProtocol
+from .common import BaselineServerMixin
+
+
+class NaiveViewProtocol(BaselineServerMixin, ReplicaControlProtocol):
+    """Majority/read-one/write-all over unsynchronized local views."""
+
+    name = "naive-view"
+
+    def __init__(self, processor, placement, config, history, latency,
+                 all_pids: Iterable[int]):
+        self.processor = processor
+        self.pid = processor.pid
+        self.sim = processor.sim
+        self.placement = placement
+        self.config = config
+        self.history = history
+        self.all_pids = frozenset(all_pids)
+        self._latency = latency
+        self.view: set[int] = set(all_pids)
+        #: pause automatic refreshing (scenario tests drive views by hand)
+        self.auto_refresh = True
+        self._init_server()
+
+    def attach(self) -> None:
+        self._attach_server()
+        self.processor.add_task("refresh-view", self._refresh_loop)
+
+    # ------------------------------------------------------------------
+    # view maintenance: A3 approximated by periodic perfect detection
+    # ------------------------------------------------------------------
+
+    def _refresh_loop(self):
+        graph = self.processor.network.graph
+        while True:
+            yield self.sim.timeout(self.config.pi)
+            if self.auto_refresh:
+                self.refresh_view()
+
+    def refresh_view(self) -> None:
+        """Adopt the closed neighbourhood in the *current* graph.
+
+        This is assumption A3 taken literally — each processor's view
+        is exactly itself plus its graph neighbours — which is where
+        Example 1's anomaly comes from when the graph is not transitive.
+        """
+        graph = self.processor.network.graph
+        self.view = {self.pid} | graph.neighbors(self.pid)
+
+    def set_view(self, view: Iterable[int]) -> None:
+        """Scenario hook: impose a (possibly stale) view directly."""
+        self.view = set(view)
+
+    # ------------------------------------------------------------------
+    # logical operations
+    # ------------------------------------------------------------------
+
+    def logical_read(self, obj: str, ctx):
+        self.metrics.logical_reads += 1
+        if not self.placement.accessible(obj, self.view):
+            self.metrics.abort("r", "inaccessible")
+            raise AccessAborted(obj, "inaccessible")
+        candidates = self.placement.holders_by_distance(
+            obj, self.view, lambda q: self._latency.distance(self.pid, q)
+        )
+        last_reason = "no-copy-in-view"
+        for server in candidates:
+            self.metrics.physical_read_rpcs += 1
+            if server == self.pid:
+                self.metrics.local_reads += 1
+            results = yield from self._fanout(
+                "read", [server],
+                lambda _s: {"obj": obj, "txn": ctx.txn_id,
+                            "ts": ctx.timestamp})
+            payload = results[server]
+            if payload is None:
+                last_reason = "no-response"
+                continue
+            if payload["ok"]:
+                self.history.record_logical(
+                    time=self.sim.now, txn=ctx.txn_id, kind="r", obj=obj,
+                    value=payload["value"], version=payload["version"],
+                )
+                ctx.note_access("r", obj, server, None)
+                return payload["value"]
+            last_reason = payload["reason"]
+            break
+        self.metrics.abort("r", last_reason)
+        raise AccessAborted(obj, last_reason)
+
+    def logical_write(self, obj: str, value: Any, ctx):
+        self.metrics.logical_writes += 1
+        if not self.placement.accessible(obj, self.view):
+            self.metrics.abort("w", "inaccessible")
+            raise AccessAborted(obj, "inaccessible")
+        targets = sorted(self.placement.copies(obj) & self.view)
+        version = ctx.next_version()
+        self.metrics.physical_write_rpcs += len(targets)
+        results = yield from self._fanout(
+            "write", targets,
+            lambda _s: {"obj": obj, "value": value, "txn": ctx.txn_id,
+                        "ts": ctx.timestamp, "version": version,
+                        "date": None})
+        failures = {s: p for s, p in results.items()
+                    if p is None or not p["ok"]}
+        for server, payload in results.items():
+            if payload is not None and payload.get("ok"):
+                ctx.note_access("w", obj, server, None)
+        if failures:
+            reason = next(
+                (p["reason"] for p in failures.values() if p is not None),
+                "no-response",
+            )
+            ctx.poison(f"write {obj!r} failed at {sorted(failures)}: {reason}")
+            self.metrics.abort("w", reason)
+            raise AccessAborted(obj, reason)
+        self.history.record_logical(
+            time=self.sim.now, txn=ctx.txn_id, kind="w", obj=obj,
+            value=value, version=version,
+        )
+        return None
+
+    def available(self, obj: str, write: bool) -> bool:
+        return self.placement.accessible(obj, self.view)

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate on which the whole reproduction runs: a seeded,
+wall-clock-free event loop with generator-based processes, cancellable
+composite waits, paper-style restartable timers, and FIFO mailboxes.
+"""
+
+from .errors import (
+    EmptySchedule,
+    Interrupt,
+    ProcessCrashed,
+    SimulationError,
+    StopSimulation,
+)
+from .events import NORMAL, URGENT, AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .kernel import Simulator
+from .process import Process
+from .queues import GetEvent, MessageQueue
+from .rng import RandomStreams
+from .sync import Notifier
+from .timers import Timer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "Event",
+    "GetEvent",
+    "Interrupt",
+    "MessageQueue",
+    "NORMAL",
+    "Notifier",
+    "Process",
+    "ProcessCrashed",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Timeout",
+    "Timer",
+    "URGENT",
+]

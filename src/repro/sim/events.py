@@ -1,0 +1,238 @@
+"""One-shot events: the unit of synchronization in the kernel.
+
+An :class:`Event` moves through three states:
+
+* *pending* — created, not yet triggered;
+* *triggered* — a value (or exception) has been set and the event is
+  scheduled for processing;
+* *processed* — its callbacks have run.
+
+Processes wait on events by ``yield``-ing them (see
+:mod:`repro.sim.process`).  Composite events (:class:`AnyOf`,
+:class:`AllOf`) let a process wait on several sources at once; losers
+that support cancellation (e.g. queue gets, timers) are cancelled so
+they do not fire later and steal items.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+#: Scheduling priorities. Lower value runs first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on."""
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: set by the kernel once callbacks have been executed
+        self._processed = False
+        #: True once defused (a failure someone consumed on purpose)
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or an exception has been set."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception (once triggered)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    # -- cancellation ----------------------------------------------------
+
+    def cancel(self) -> None:
+        """Withdraw interest in a pending event.
+
+        The base event simply drops its callbacks; subclasses that hold
+        external registrations (queue waiters, timers) override this to
+        release them.  Cancelling a triggered event is a no-op.
+        """
+        if not self.triggered:
+            self.callbacks = []
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when this event is processed."""
+        if self._processed:
+            raise RuntimeError(f"{self!r} already processed")
+        if self.triggered:
+            # Triggered but not yet processed: the kernel will pick the
+            # callback up when it pops the event.
+            assert self.callbacks is not None
+        assert self.callbacks is not None
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    The value is held aside and only materialized when the kernel pops
+    the event, so ``triggered`` stays false until the timeout actually
+    occurs in model time — composite conditions rely on this.
+    """
+
+    def __init__(self, sim, delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim, name or f"timeout({delay})")
+        self.delay = delay
+        self._delayed_value = value
+        sim._schedule(self, NORMAL, delay)
+
+    def _materialize(self) -> None:
+        if self._value is _PENDING:
+            self._ok = True
+            self._value = self._delayed_value
+
+    def cancel(self) -> None:
+        # The kernel lazily discards cancelled timeouts when popped.
+        self.callbacks = []
+        self._cancelled = True
+
+
+class ConditionValue:
+    """Mapping of events to values for fired composite conditions."""
+
+    def __init__(self):
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{e!r}: {e.value!r}" for e in self.events)
+        return f"<ConditionValue {{{pairs}}}>"
+
+
+class Condition(Event):
+    """Base composite event over a list of sub-events."""
+
+    def __init__(self, sim, events: Iterable[Event], name: str = ""):
+        super().__init__(sim, name)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("events belong to different simulators")
+        self._fired: list[Event] = []
+        if not self.events:
+            self.succeed(ConditionValue())
+            return
+        for event in self.events:
+            if event.triggered:
+                self._on_sub_event(event)
+            else:
+                event.add_callback(self._on_sub_event)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            self._cancel_pending()
+            return
+        self._fired.append(event)
+        if self._satisfied():
+            result = ConditionValue()
+            result.events.extend(self._fired)
+            self.succeed(result)
+            self._cancel_pending()
+
+    def _cancel_pending(self) -> None:
+        # Cancel every loser that has not yet been processed — including
+        # ones that triggered at the same instant as the winner.  Events
+        # holding resources (queue gets) use cancel() to give them back;
+        # without this, a message delivered simultaneously with the
+        # winning event would be consumed and silently dropped.
+        for event in self.events:
+            if event not in self._fired and not event.processed:
+                event.cancel()
+
+
+class AnyOf(Condition):
+    """Fires as soon as one sub-event fires; remaining ones are cancelled."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self.events)

@@ -1,0 +1,175 @@
+"""The deterministic discrete-event simulation core.
+
+All model time is a float; ties are broken by ``(time, priority,
+sequence-number)`` so that two runs with the same seed replay the exact
+same interleaving.  There is no wall-clock anywhere in the kernel, which
+is what makes adversarially timed failure injection reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Optional
+
+from .errors import EmptySchedule, ProcessCrashed, StopSimulation
+from .events import NORMAL, AllOf, AnyOf, Event, Timeout
+from .process import EventGenerator, Process
+
+
+class Simulator:
+    """Event queue, clock, and process factory."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        self._pending_crashes: list[ProcessCrashed] = []
+        #: if False, crashed processes are recorded but do not abort run()
+        self.strict = True
+        self.crashes: list[ProcessCrashed] = []
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current model time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """An event firing ``delay`` units from now."""
+        return Timeout(self, delay, value, name)
+
+    def process(self, generator: EventGenerator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def _report_crash(self, crash: ProcessCrashed) -> None:
+        self.crashes.append(crash)
+        if self.strict:
+            self._pending_crashes.append(crash)
+
+    # -- execution ------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        while self._queue:
+            when, _, _, event = self._queue[0]
+            if getattr(event, "_cancelled", False):
+                heapq.heappop(self._queue)
+                continue
+            return when
+        return float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        while True:
+            try:
+                when, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule("event queue is empty") from None
+            if not getattr(event, "_cancelled", False):
+                break
+        self._now = when
+        materialize = getattr(event, "_materialize", None)
+        if materialize is not None:
+            materialize()
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok and not event._defused:
+            # A failure nobody waited for: surface it.
+            value = event.value
+            if isinstance(value, BaseException):
+                raise value
+            raise RuntimeError(f"unhandled failed event {event!r}: {value!r}")
+        if self._pending_crashes:
+            crash = self._pending_crashes.pop(0)
+            raise crash
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until a horizon time, an event fires, or the queue empties.
+
+        * ``until`` is a number: stop when the clock would pass it.
+        * ``until`` is an :class:`Event`: stop when it fires and return
+          its value (a failed event re-raises its exception).
+        * ``until`` is ``None``: run until no events remain.
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                raise RuntimeError(f"{until!r} already processed")
+            stop_event.add_callback(self._stop_on)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"horizon {horizon} is in the past (now={self._now})"
+                )
+
+        try:
+            while True:
+                upcoming = self.peek()
+                if upcoming == float("inf"):
+                    if stop_event is not None:
+                        raise EmptySchedule(
+                            f"queue empty before {stop_event!r} fired"
+                        )
+                    if horizon != float("inf"):
+                        # Advance to the horizon even with nothing left to
+                        # do, so callers composing successive run(until=t)
+                        # calls never act "in the past".
+                        self._now = horizon
+                    break
+                if upcoming > horizon:
+                    self._now = horizon
+                    break
+                self.step()
+        except StopSimulation as stop:
+            if (stop_event is not None and stop_event.triggered
+                    and not stop_event.ok):
+                raise stop_event.value from None
+            return stop.value
+        if stop_event is not None and stop_event.triggered:
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    def _stop_on(self, event: Event) -> None:
+        if not event.ok:
+            event.defuse()
+        raise StopSimulation(event.value if event.ok else None)

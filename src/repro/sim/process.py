@@ -1,0 +1,139 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that ``yield``-s :class:`Event` objects;
+the kernel resumes it with the event's value (or throws the event's
+exception).  A :class:`Process` is itself an event and fires when the
+generator returns — its value is the generator's return value — so
+processes can wait on each other.
+
+This mirrors the task structure of the paper's pseudocode (Figures
+3–12): each ``task ... cycle ... endcycle`` becomes a generator loop and
+each ``select from receive(...) | T.timeout`` becomes a ``yield AnyOf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import Interrupt, ProcessCrashed, StopSimulation
+from .events import NORMAL, URGENT, Event
+
+EventGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop."""
+
+    def __init__(self, sim, generator: EventGenerator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the process off at the current instant — at NORMAL
+        # priority, so a freshly spawned process never preempts event
+        # deliveries that were already scheduled at this instant.
+        init = Event(sim, name=f"{self.name}.init")
+        init.succeed()
+        init.add_callback(self._resume)
+        self._target = init
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    # -- control -----------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it handles the first interrupt queues both.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self._target is not None and not self._target.triggered:
+            self._target.cancel()
+        hit = Event(self.sim, name=f"{self.name}.interrupt")
+        hit.defuse()
+        hit.fail(Interrupt(cause), priority=URGENT)
+        hit.add_callback(self._resume)
+
+    def kill(self) -> None:
+        """Terminate the process immediately without running it further.
+
+        Used to model processor crashes: the victim gets no chance to
+        clean up, exactly like a real crash.  The process event itself is
+        *not* triggered with a value — anyone waiting on it keeps waiting
+        (their wait should be guarded by a timeout, as in the paper).
+        """
+        if not self.is_alive:
+            return
+        if self._target is not None and not self._target.triggered:
+            self._target.cancel()
+        self._target = None
+        self._generator.close()
+        # Mark dead without scheduling: waiters time out instead.
+        self._value = None
+        self._ok = True
+        self._processed = True
+        self.callbacks = []
+
+    # -- kernel callback -----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # Killed between scheduling and delivery.
+            return
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                next_target = self._generator.send(event.value)
+            else:
+                event.defuse()
+                next_target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An interrupt escaped the generator: treat as clean stop.
+            self._target = None
+            self.succeed(None)
+            return
+        except StopSimulation:
+            # Deliberate halt requests pass straight through to run().
+            self._target = None
+            raise
+        except BaseException as exc:  # noqa: BLE001 - surfaced via kernel
+            self._target = None
+            self.sim._report_crash(ProcessCrashed(self, exc))
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(next_target, Event):
+            crash = ProcessCrashed(
+                self, TypeError(f"process yielded non-event {next_target!r}")
+            )
+            self.sim._report_crash(crash)
+            self.fail(crash)
+            return
+        if next_target.processed:
+            crash = ProcessCrashed(
+                self, RuntimeError(f"{next_target!r} already processed")
+            )
+            self.sim._report_crash(crash)
+            self.fail(crash)
+            return
+        self._target = next_target
+        next_target.add_callback(self._resume)

@@ -1,0 +1,93 @@
+"""FIFO message queues with cancellable blocking gets.
+
+Mailboxes are the rendezvous between the network and the protocol
+tasks.  ``get()`` returns an event; if an item is already queued the
+event fires at the current instant, otherwise the caller is enqueued as
+a waiter.  A waiter can be *cancelled* (e.g. when it loses an ``AnyOf``
+race against a timer) in which case it never consumes an item — without
+this, select-style loops would silently eat messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .events import Event
+
+
+class GetEvent(Event):
+    """A pending ``get`` on a :class:`MessageQueue`."""
+
+    def __init__(self, queue: "MessageQueue"):
+        super().__init__(queue.sim, name=f"{queue.name}.get")
+        self._queue = queue
+
+    def cancel(self) -> None:
+        if self.triggered:
+            if not self.processed:
+                # The get already consumed an item but lost a composite
+                # race before delivery: un-consume.  The item returns to
+                # the FRONT of the queue so FIFO order is preserved, and
+                # the event is marked cancelled so the kernel skips it.
+                self._queue._items.appendleft(self.value)
+                self.callbacks = []
+                self._cancelled = True
+            return
+        try:
+            self._queue._waiters.remove(self)
+        except ValueError:
+            pass
+        super().cancel()
+
+
+class MessageQueue:
+    """Unbounded FIFO of items with event-based consumption."""
+
+    def __init__(self, sim, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: list[GetEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest live waiter, if any."""
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.triggered:
+                waiter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> GetEvent:
+        """An event that fires with the next item."""
+        event = GetEvent(self)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def get_matching(self, predicate: Callable[[Any], bool]) -> Optional[Any]:
+        """Synchronously remove and return the first queued item matching
+        ``predicate``, or ``None`` if no queued item matches."""
+        for index, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[index]
+                return item
+        return None
+
+    def clear(self) -> None:
+        """Drop queued items and orphan all waiters (used on crash)."""
+        self._items.clear()
+        for waiter in self._waiters:
+            if not waiter.triggered:
+                waiter.callbacks = []
+        self._waiters.clear()
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (for assertions in tests)."""
+        return list(self._items)

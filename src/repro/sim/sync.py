@@ -1,0 +1,47 @@
+"""Condition-style synchronization: re-armable wait/notify.
+
+Used to implement the paper's ``wait until (l not in locked)`` (Fig. 12)
+without busy waiting: waiters park on a :class:`Notifier` and are all
+released whenever the guarded state changes, then re-check their
+predicate.
+"""
+
+from __future__ import annotations
+
+from .events import Event
+
+
+class Notifier:
+    """A broadcast point: many waiters, released together on notify."""
+
+    def __init__(self, sim, name: str = "notifier"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        """An event that fires at the next :meth:`notify_all`."""
+        event = self.sim.event(name=f"{self.name}.wait")
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self) -> None:
+        """Release every current waiter (new waits queue afresh)."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def wait_for(self, predicate):
+        """Generator: resume only once ``predicate()`` is true.
+
+        Use as ``yield from notifier.wait_for(lambda: l not in locked)``.
+        The predicate is rechecked after every notification.
+        """
+        while not predicate():
+            yield self.wait()
+
+    @property
+    def waiting(self) -> int:
+        """Number of parked waiters (for tests and metrics)."""
+        return len(self._waiters)

@@ -1,0 +1,92 @@
+"""Restartable timers with the paper's ``set`` / ``reset`` interface.
+
+The protocol pseudocode (Figures 5–8) uses timers of the form::
+
+    var T: Timer;
+    T.set(3 * delta);        -- arm (or re-arm) for a duration
+    ...
+    select from
+        receive(...)  -> ... T.reset; ...
+        T.timeout     -> ...
+
+:class:`Timer` reproduces those semantics on top of cancellable
+:class:`~repro.sim.events.Timeout` events.  ``wait()`` returns an event
+that fires at the *current* expiry; re-arming invalidates outstanding
+waits (they never fire), exactly like re-setting a hardware timer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .events import Event, Timeout
+
+
+class Timer:
+    """A one-shot, re-armable countdown."""
+
+    def __init__(self, sim, name: str = "timer"):
+        self.sim = sim
+        self.name = name
+        self._generation = 0
+        self._pending: Optional[Timeout] = None
+        self._expiry: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a countdown is in progress."""
+        return (self._expiry is not None
+                and self._expiry > self.sim.now)
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time, or ``None`` when disarmed."""
+        return self._expiry if self.armed else None
+
+    def set(self, duration: float) -> None:
+        """Arm (or re-arm) the timer to fire ``duration`` from now."""
+        if duration < 0:
+            raise ValueError(f"negative timer duration {duration}")
+        self._invalidate()
+        self._expiry = self.sim.now + duration
+
+    def reset(self) -> None:
+        """Disarm the timer; outstanding waits never fire."""
+        self._invalidate()
+        self._expiry = None
+
+    def wait(self) -> Event:
+        """An event that fires when the *current* arming expires.
+
+        Waiting on a disarmed timer returns an event that never fires
+        (callers combine it with other sources via ``AnyOf``).
+        """
+        if not self.armed:
+            return self.sim.event(name=f"{self.name}.never")
+        generation = self._generation
+        timeout = Timeout(
+            self.sim, self._expiry - self.sim.now,
+            name=f"{self.name}.timeout",
+        )
+        self._pending = timeout
+        gate = self.sim.event(name=f"{self.name}.gate")
+
+        def relay(_event, timer=self, gen=generation, out=gate):
+            if timer._generation == gen and not out.triggered:
+                out.succeed(timer)
+
+        timeout.add_callback(relay)
+        original_cancel = gate.cancel
+
+        def cancel_both(t=timeout, orig=original_cancel):
+            t.cancel()
+            orig()
+
+        gate.cancel = cancel_both  # type: ignore[method-assign]
+        return gate
+
+    def _invalidate(self) -> None:
+        self._generation += 1
+        if self._pending is not None and not self._pending.processed:
+            self._pending.cancel()
+        self._pending = None

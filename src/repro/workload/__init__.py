@@ -1,0 +1,26 @@
+"""Workloads, scenarios, and the experiment harness."""
+
+from .generator import WorkloadGenerator, WorkloadSpec, body_for
+from .runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    build_cluster,
+    run_experiment,
+)
+from .sweep import grid, sweep, sweep_protocols
+from .tables import render_series, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "body_for",
+    "build_cluster",
+    "grid",
+    "render_series",
+    "render_table",
+    "run_experiment",
+    "sweep",
+    "sweep_protocols",
+]

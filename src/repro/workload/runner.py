@@ -1,0 +1,157 @@
+"""The experiment harness: one protocol, one workload, one failure script.
+
+Drives an open-loop client at every processor, collects protocol and
+network counters, and computes the derived quantities the paper's
+claims are stated in: physical accesses per logical operation, messages
+per committed transaction, abort rates, and availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+
+from ..cluster import Cluster
+from ..core.config import ProtocolConfig
+from ..net.latency import LatencyModel
+from ..protocols import protocol_factory
+from .generator import WorkloadGenerator, WorkloadSpec, body_for
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything one experiment run needs."""
+
+    protocol: str = "virtual-partitions"
+    processors: int = 5
+    objects: int = 10
+    copies_per_object: Optional[int] = None  # None = full replication
+    seed: int = 0
+    duration: float = 400.0
+    grace: float = 60.0
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    latency: Optional[LatencyModel] = None
+    config: Optional[ProtocolConfig] = None
+    #: callback(cluster) scheduling failures before the run starts
+    failures: Optional[Callable[[Cluster], None]] = None
+    retries: int = 0
+    check: bool = False  # run the 1SR checker afterwards (small runs only)
+
+
+@dataclass
+class ExperimentResult:
+    """Raw counters + derived metrics from one run."""
+
+    spec: ExperimentSpec
+    committed: int
+    aborted: int
+    metrics: Any
+    network: dict
+    one_copy_ok: Optional[bool]
+    cluster: Cluster
+
+    @property
+    def attempted(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def commit_rate(self) -> float:
+        return self.committed / self.attempted if self.attempted else 0.0
+
+    @property
+    def reads_per_logical_read(self) -> float:
+        """Physical accesses per logical read — the paper's headline
+        efficiency metric (1.0 for read-one protocols)."""
+        m = self.metrics
+        data_reads = m.physical_read_rpcs - m.version_collect_rpcs
+        return data_reads / m.logical_reads if m.logical_reads else 0.0
+
+    @property
+    def writes_per_logical_write(self) -> float:
+        m = self.metrics
+        return (m.physical_write_rpcs / m.logical_writes
+                if m.logical_writes else 0.0)
+
+    @property
+    def accesses_per_operation(self) -> float:
+        """Physical accesses per logical operation over the whole mix."""
+        m = self.metrics
+        ops = m.logical_reads + m.logical_writes
+        total = m.physical_read_rpcs + m.physical_write_rpcs
+        return total / ops if ops else 0.0
+
+    @property
+    def messages_per_committed_txn(self) -> float:
+        return (self.network["sent"] / self.committed
+                if self.committed else float("inf"))
+
+
+def build_cluster(spec: ExperimentSpec) -> Cluster:
+    """Construct (but do not run) the cluster an ExperimentSpec describes."""
+    cluster = Cluster(
+        processors=spec.processors, seed=spec.seed,
+        latency=spec.latency, config=spec.config,
+        protocol=protocol_factory(spec.protocol),
+    )
+    pids = cluster.pids
+    copies = spec.copies_per_object or len(pids)
+    if not 1 <= copies <= len(pids):
+        raise ValueError(f"copies_per_object out of range: {copies}")
+    for index in range(spec.objects):
+        holders = [pids[(index + k) % len(pids)] for k in range(copies)]
+        cluster.place(f"o{index}", holders=holders, initial=0)
+    return cluster
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one experiment and gather its results."""
+    cluster = build_cluster(spec)
+    cluster.start()
+    if spec.failures is not None:
+        spec.failures(cluster)
+    objects = [f"o{i}" for i in range(spec.objects)]
+
+    for pid in cluster.pids:
+        generator = WorkloadGenerator(
+            spec.workload, objects,
+            cluster.streams.stream(f"workload-p{pid}"),
+        )
+        cluster.sim.process(
+            _client(cluster, pid, generator, spec),
+            name=f"client@p{pid}",
+        )
+
+    cluster.run(until=spec.duration + spec.grace)
+
+    committed = len(cluster.history.committed())
+    aborted = len(cluster.history.aborted())
+    one_copy_ok: Optional[bool] = None
+    if spec.check:
+        result = cluster.check_one_copy_serializable()
+        one_copy_ok = result
+    return ExperimentResult(
+        spec=spec,
+        committed=committed,
+        aborted=aborted,
+        metrics=cluster.total_metrics(),
+        network=cluster.network.stats.snapshot(),
+        one_copy_ok=one_copy_ok,
+        cluster=cluster,
+    )
+
+
+def _client(cluster: Cluster, pid: int, generator: WorkloadGenerator,
+            spec: ExperimentSpec):
+    """Open-loop client: Poisson arrivals until the duration elapses."""
+    sim = cluster.sim
+    tm = cluster.tm(pid)
+    index = 0
+    while sim.now < spec.duration:
+        yield sim.timeout(generator.next_interarrival())
+        if sim.now >= spec.duration:
+            return
+        program = generator.next_program()
+        body = body_for(program, tag=f"p{pid}t{index}")
+        index += 1
+        yield from tm.run(body, retries=spec.retries,
+                          backoff=2 * cluster.config.delta)

@@ -1,0 +1,72 @@
+"""Parameter sweeps over experiment specs."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from .generator import WorkloadSpec
+from .runner import ExperimentResult, ExperimentSpec, run_experiment
+
+
+def sweep(base: ExperimentSpec, axis: str,
+          values: Sequence[Any]) -> List[Tuple[Any, ExperimentResult]]:
+    """Run ``base`` once per value of ``axis``.
+
+    ``axis`` may name a field of :class:`ExperimentSpec` or, with the
+    ``workload.`` prefix, a field of its :class:`WorkloadSpec`.
+    """
+    results = []
+    for value in values:
+        results.append((value, run_experiment(_with(base, axis, value))))
+    return results
+
+
+def sweep_protocols(base: ExperimentSpec, protocols: Sequence[str],
+                    ) -> Dict[str, ExperimentResult]:
+    """Run the identical workload under each protocol (paired seeds)."""
+    return {
+        name: run_experiment(replace(base, protocol=name))
+        for name in protocols
+    }
+
+
+def grid(base: ExperimentSpec, axes: Dict[str, Sequence[Any]],
+         ) -> List[Tuple[Dict[str, Any], ExperimentResult]]:
+    """Full cartesian sweep over several axes."""
+    names = sorted(axes)
+    results: List[Tuple[Dict[str, Any], ExperimentResult]] = []
+
+    def recurse(index: int, point: Dict[str, Any],
+                spec: ExperimentSpec) -> None:
+        if index == len(names):
+            results.append((dict(point), run_experiment(spec)))
+            return
+        axis = names[index]
+        for value in axes[axis]:
+            point[axis] = value
+            recurse(index + 1, point, _with(spec, axis, value))
+        del point[axis]
+
+    recurse(0, {}, base)
+    return results
+
+
+def averaged(run: Callable[[int], float], seeds: Iterable[int]) -> float:
+    """Mean of a scalar measurement across seeds."""
+    values = [run(seed) for seed in seeds]
+    if not values:
+        raise ValueError("no seeds supplied")
+    return sum(values) / len(values)
+
+
+def _with(spec: ExperimentSpec, axis: str, value: Any) -> ExperimentSpec:
+    if axis.startswith("workload."):
+        field = axis.split(".", 1)[1]
+        if not hasattr(spec.workload, field):
+            raise AttributeError(f"WorkloadSpec has no field {field!r}")
+        return replace(spec, workload=replace(spec.workload,
+                                              **{field: value}))
+    if not hasattr(spec, axis):
+        raise AttributeError(f"ExperimentSpec has no field {axis!r}")
+    return replace(spec, **{axis: value})

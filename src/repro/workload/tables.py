@@ -1,0 +1,60 @@
+"""ASCII tables and series for benchmark reports.
+
+The benchmark harness prints results in the same shape the paper's
+claims are stated (who wins, by what factor, where crossovers fall);
+these helpers keep that output consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """A boxed, aligned ASCII table."""
+    grid = [list(map(format_cell, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells, pad=" "):
+        return "| " + " | ".join(
+            cell.ljust(width, pad) for cell, width in zip(cells, widths)
+        ) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(headers))
+    out.append(separator)
+    for row in grid:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def render_series(label: str, xs: Sequence[Any],
+                  ys: Sequence[float], x_name: str = "x",
+                  y_name: str = "y") -> str:
+    """A one-line-per-point series, greppable in benchmark logs."""
+    out = [f"# series: {label} ({x_name} -> {y_name})"]
+    for x, y in zip(xs, ys):
+        out.append(f"{label}\t{format_cell(x)}\t{format_cell(y)}")
+    return "\n".join(out)

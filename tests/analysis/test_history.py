@@ -1,0 +1,109 @@
+"""Unit tests for the history recorder."""
+
+import pytest
+
+from repro.analysis.history import INITIAL_VERSION, History
+
+
+@pytest.fixture()
+def history():
+    return History()
+
+
+def test_txn_lifecycle(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.commit_txn("t1", time=5.0)
+    record = history.txns["t1"]
+    assert record.status == "committed"
+    assert record.end_time == 5.0
+    assert history.committed()[0].txn == "t1"
+
+
+def test_abort_records_reason(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.abort_txn("t1", time=3.0, reason="lock-timeout")
+    assert history.aborted()[0].abort_reason == "lock-timeout"
+    assert history.committed() == []
+
+
+def test_double_begin_rejected(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    with pytest.raises(KeyError):
+        history.begin_txn("t1", origin=2, time=1.0)
+
+
+def test_finish_twice_rejected(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.commit_txn("t1", time=1.0)
+    with pytest.raises(ValueError):
+        history.abort_txn("t1", time=2.0)
+
+
+def test_unknown_txn_rejected(history):
+    with pytest.raises(KeyError):
+        history.commit_txn("ghost", time=1.0)
+
+
+def test_physical_ops_attach_to_txn(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.record_physical(time=1.0, txn="t1", kind="r", obj="x",
+                            copy_pid=2, value=0, version=INITIAL_VERSION,
+                            vpid="v1")
+    history.record_physical(time=2.0, txn="t1", kind="w", obj="x",
+                            copy_pid=2, value=1, version=("t1", 1),
+                            vpid="v1")
+    record = history.txns["t1"]
+    assert len(record.physical_ops) == 2
+    assert record.vpids == {"v1"}
+    assert len(history.ops_on_copy("x", 2)) == 2
+    assert history.ops_on_copy("x", 3) == []
+
+
+def test_logical_ops_and_read_write_sets(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.record_logical(time=1.0, txn="t1", kind="r", obj="x",
+                           value=0, version=INITIAL_VERSION)
+    history.record_logical(time=2.0, txn="t1", kind="w", obj="y",
+                           value=9, version=("t1", 1))
+    record = history.txns["t1"]
+    assert record.read_set == {"x"}
+    assert record.write_set == {"y"}
+
+
+def test_invalid_kind_rejected(history):
+    history.begin_txn("t1", origin=1, time=0.0)
+    with pytest.raises(ValueError):
+        history.record_physical(time=1.0, txn="t1", kind="x", obj="x",
+                                copy_pid=1, value=0, version=None, vpid=None)
+    with pytest.raises(ValueError):
+        history.record_logical(time=1.0, txn="t1", kind="q", obj="x",
+                               value=0, version=None)
+
+
+def test_view_of_is_unique_per_partition(history):
+    history.record_join(time=1.0, pid=1, vpid="v1", view={1, 2})
+    history.record_join(time=2.0, pid=2, vpid="v1", view={1, 2})
+    assert history.view_of("v1") == frozenset({1, 2})
+    assert history.members_of("v1") == {1, 2}
+    with pytest.raises(KeyError):
+        history.view_of("ghost")
+
+
+def test_view_of_detects_s1_violation(history):
+    history.record_join(time=1.0, pid=1, vpid="v1", view={1})
+    history.record_join(time=2.0, pid=2, vpid="v1", view={1, 2})
+    with pytest.raises(AssertionError):
+        history.view_of("v1")
+
+
+def test_conflicts_with():
+    from repro.analysis.history import PhysicalOp
+    read = PhysicalOp(1.0, "t1", "r", "x", 2, 0, None, None)
+    write = PhysicalOp(2.0, "t2", "w", "x", 2, 1, None, None)
+    other_copy = PhysicalOp(2.0, "t2", "w", "x", 3, 1, None, None)
+    same_txn = PhysicalOp(2.0, "t1", "w", "x", 2, 1, None, None)
+    read2 = PhysicalOp(3.0, "t2", "r", "x", 2, 0, None, None)
+    assert read.conflicts_with(write)
+    assert not read.conflicts_with(other_copy)
+    assert not read.conflicts_with(same_txn)
+    assert not read.conflicts_with(read2)

@@ -1,0 +1,159 @@
+"""Unit tests for the one-copy serializability checker."""
+
+import pytest
+
+from repro.analysis.history import INITIAL_VERSION, History
+from repro.analysis.one_copy import (
+    InconclusiveCheck,
+    check_one_copy,
+    is_one_copy_serializable,
+)
+
+
+def build(txns):
+    """txns: list of (txn_id, [(kind, obj, version)]) committed in order."""
+    history = History()
+    time = 0.0
+    for txn, ops in txns:
+        history.begin_txn(txn, origin=1, time=time)
+        for kind, obj, version in ops:
+            time += 1.0
+            history.record_logical(time=time, txn=txn, kind=kind, obj=obj,
+                                   value=None, version=version)
+        time += 1.0
+        history.commit_txn(txn, time=time)
+    return history
+
+
+def test_empty_history_is_1sr():
+    result = check_one_copy(History())
+    assert result.ok is True
+    assert result.witness == []
+
+
+def test_simple_chain_is_1sr():
+    v1 = ("t1", 1)
+    history = build([
+        ("t1", [("r", "x", INITIAL_VERSION), ("w", "x", v1)]),
+        ("t2", [("r", "x", v1)]),
+    ])
+    result = check_one_copy(history)
+    assert result.ok is True
+    assert result.witness.index("t1") < result.witness.index("t2")
+
+
+def test_lost_update_is_not_1sr():
+    """Example 1's shape: both increments read the initial version."""
+    history = build([
+        ("t1", [("r", "x", INITIAL_VERSION), ("w", "x", ("t1", 1))]),
+        ("t2", [("r", "x", INITIAL_VERSION), ("w", "x", ("t2", 1))]),
+    ])
+    result = check_one_copy(history)
+    assert result.ok is False
+    assert result.violation
+
+
+def test_reads_from_cycle_is_not_1sr():
+    """Example 2's shape: T_A→T_B→T_C→T_D→T_A via initial reads."""
+    history = build([
+        ("tA", [("r", "b", INITIAL_VERSION), ("w", "a", ("tA", 1))]),
+        ("tB", [("r", "c", INITIAL_VERSION), ("w", "b", ("tB", 1))]),
+        ("tC", [("r", "d", INITIAL_VERSION), ("w", "c", ("tC", 1))]),
+        ("tD", [("r", "a", INITIAL_VERSION), ("w", "d", ("tD", 1))]),
+    ])
+    assert check_one_copy(history).ok is False
+
+
+def test_out_of_commit_order_witness_found():
+    """1SR can hold even when no real-time order works: stale reads in a
+    minority partition serialize the reader *before* the writer."""
+    v1 = ("t1", 1)
+    history = build([
+        ("t1", [("w", "x", v1)]),
+        # t2 commits later in real time but read the pre-t1 value:
+        ("t2", [("r", "x", INITIAL_VERSION)]),
+    ])
+    result = check_one_copy(history)
+    assert result.ok is True
+    assert result.witness.index("t2") < result.witness.index("t1")
+
+
+def test_read_own_write():
+    history = build([
+        ("t1", [("w", "x", ("t1", 1)), ("r", "x", ("t1", 1))]),
+    ])
+    assert check_one_copy(history).ok is True
+
+
+def test_read_own_write_then_overwrite():
+    history = build([
+        ("t1", [("w", "x", ("t1", 1)), ("r", "x", ("t1", 1)),
+                ("w", "x", ("t1", 2))]),
+        ("t2", [("r", "x", ("t1", 2))]),
+    ])
+    assert check_one_copy(history).ok is True
+
+
+def test_dirty_read_from_aborted_txn_rejected():
+    history = History()
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.record_logical(time=1.0, txn="t1", kind="w", obj="x",
+                           value=1, version=("t1", 1))
+    history.abort_txn("t1", time=2.0)
+    history.begin_txn("t2", origin=1, time=3.0)
+    history.record_logical(time=4.0, txn="t2", kind="r", obj="x",
+                           value=1, version=("t1", 1))
+    history.commit_txn("t2", time=5.0)
+    result = check_one_copy(history)
+    assert result.ok is False
+    assert "non-committed" in result.violation
+
+
+def test_aborted_txns_ignored():
+    history = History()
+    history.begin_txn("t1", origin=1, time=0.0)
+    history.record_logical(time=1.0, txn="t1", kind="w", obj="x",
+                           value=1, version=("t1", 1))
+    history.abort_txn("t1", time=2.0)
+    assert check_one_copy(history).ok is True
+
+
+def test_interleaved_objects_need_search():
+    """A case where commit order fails but a reordering exists."""
+    history = build([
+        ("t1", [("w", "x", ("t1", 1))]),
+        ("t2", [("w", "y", ("t2", 1))]),
+        ("t3", [("r", "x", INITIAL_VERSION), ("r", "y", ("t2", 1))]),
+    ])
+    result = check_one_copy(history)
+    assert result.ok is True
+    witness = result.witness
+    assert witness.index("t3") < witness.index("t1")
+    assert witness.index("t2") < witness.index("t3")
+
+
+def test_inconclusive_raises_in_boolean_form():
+    # 20 pairwise-antagonistic transactions exceed the exact budget when
+    # every candidate order fails.
+    txns = []
+    for i in range(20):
+        txns.append((f"t{i}", [("r", "x", INITIAL_VERSION),
+                               ("w", "x", (f"t{i}", 1))]))
+    history = build(txns)
+    result = check_one_copy(history, exact_limit=5)
+    assert result.ok is None
+    with pytest.raises(InconclusiveCheck):
+        is_one_copy_serializable(history, exact_limit=5)
+
+
+def test_exact_search_definitively_rejects():
+    history = build([
+        ("t1", [("r", "x", INITIAL_VERSION), ("w", "x", ("t1", 1))]),
+        ("t2", [("r", "x", INITIAL_VERSION), ("w", "x", ("t2", 1))]),
+    ])
+    assert is_one_copy_serializable(history) is False
+
+
+def test_boolean_form_true():
+    history = build([("t1", [("w", "x", ("t1", 1))])])
+    assert is_one_copy_serializable(history) is True

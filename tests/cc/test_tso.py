@@ -1,0 +1,158 @@
+"""Unit tests for strict timestamp ordering."""
+
+import pytest
+
+from repro.cc.strategy import REJECTED_TIMEOUT, REJECTED_TOO_LATE
+from repro.cc.tso import TimestampOrdering
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    tso = TimestampOrdering(sim, wait_timeout=10.0)
+    return sim, tso
+
+
+def run_gen(sim, generator):
+    """Drive a strategy generator to completion and return its value."""
+    process = sim.process(generator)
+    sim.run()
+    return process.value
+
+
+def ts(time, pid=1, seq=1):
+    return (time, pid, seq)
+
+
+def test_reads_in_timestamp_order_granted(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_read("t1", ts(1.0), "x")) == (True, None)
+    assert run_gen(sim, tso.begin_read("t2", ts(2.0), "x")) == (True, None)
+
+
+def test_read_below_wts_rejected(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("t2", ts(5.0), "x"))[0]
+    tso.finish("t2", "commit")
+    granted, reason = run_gen(sim, tso.begin_read("t1", ts(1.0), "x"))
+    assert not granted and reason == REJECTED_TOO_LATE
+
+
+def test_write_below_rts_rejected(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_read("t2", ts(5.0), "x"))[0]
+    granted, reason = run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))
+    assert not granted and reason == REJECTED_TOO_LATE
+
+
+def test_write_below_wts_rejected(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("t2", ts(5.0), "x"))[0]
+    tso.finish("t2", "commit")
+    granted, reason = run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))
+    assert not granted and reason == REJECTED_TOO_LATE
+
+
+def test_no_dirty_reads_waits_for_writer_decision(setup):
+    sim, tso = setup
+    outcomes = []
+
+    def writer():
+        granted = yield from tso.begin_write("w", ts(1.0, pid=1), "x")
+        outcomes.append(("write", granted[0], sim.now))
+        yield sim.timeout(4.0)
+        tso.finish("w", "commit")
+
+    def reader():
+        yield sim.timeout(1.0)
+        granted = yield from tso.begin_read("r", ts(2.0, pid=2), "x")
+        outcomes.append(("read", granted[0], sim.now))
+
+    sim.process(writer())
+    sim.process(reader())
+    sim.run()
+    assert ("write", True, 0.0) in outcomes
+    # the read waited for the commit at t=4, then was granted
+    assert ("read", True, 4.0) in outcomes
+
+
+def test_wait_times_out_if_decision_never_comes(setup):
+    sim, tso = setup
+
+    def writer():
+        yield from tso.begin_write("w", ts(1.0), "x")
+
+    def reader():
+        yield sim.timeout(1.0)
+        result = yield from tso.begin_read("r", ts(2.0, pid=2), "x")
+        return result
+
+    sim.process(writer())
+    read_proc = sim.process(reader())
+    sim.run()
+    granted, reason = read_proc.value
+    assert not granted and reason == REJECTED_TIMEOUT
+
+
+def test_rewrite_own_uncommitted_value_allowed(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))[0]
+    assert run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))[0]
+
+
+def test_read_own_uncommitted_write_allowed(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))[0]
+    assert run_gen(sim, tso.begin_read("t1", ts(1.0), "x"))[0]
+
+
+def test_abort_releases_uncommitted_mark(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("t1", ts(1.0), "x"))[0]
+    tso.finish("t1", "abort")
+    # a later reader needs no wait now
+    assert run_gen(sim, tso.begin_read("t2", ts(2.0), "x")) == (True, None)
+
+
+def test_active_txns_tracked(setup):
+    sim, tso = setup
+    run_gen(sim, tso.begin_read("t1", ts(1.0), "x"))
+    run_gen(sim, tso.begin_write("t2", ts(2.0), "y"))
+    assert tso.active_txns() == {"t1", "t2"}
+    tso.finish("t1", "commit")
+    assert tso.active_txns() == {"t2"}
+
+
+def test_stable_read_gate_waits_for_writer(setup):
+    sim, tso = setup
+    times = []
+
+    def writer():
+        yield from tso.begin_write("w", ts(1.0), "x")
+        yield sim.timeout(3.0)
+        tso.finish("w", "commit")
+
+    def recovery():
+        yield sim.timeout(0.5)
+        granted = yield from tso.stable_read_gate("x")
+        times.append((granted, sim.now))
+
+    sim.process(writer())
+    sim.process(recovery())
+    sim.run()
+    assert times == [(True, 3.0)]
+
+
+def test_stable_read_gate_immediate_when_clean(setup):
+    sim, tso = setup
+    assert run_gen(sim, tso.stable_read_gate("x")) is True
+
+
+def test_newer_uncommitted_write_does_not_block_older_reader(setup):
+    """An older reader conflicting with a NEWER uncommitted write is
+    simply too late — it must not wait for that write's fate."""
+    sim, tso = setup
+    assert run_gen(sim, tso.begin_write("w", ts(5.0), "x"))[0]
+    granted, reason = run_gen(sim, tso.begin_read("r", ts(1.0, pid=2), "x"))
+    assert not granted and reason == REJECTED_TOO_LATE

@@ -1,0 +1,81 @@
+"""Unit tests for protocol configuration and derived constants."""
+
+import pytest
+
+from repro.core.config import (
+    CATCHUP_FULL,
+    CATCHUP_LOG,
+    INIT_PREVIOUS,
+    INIT_READ_ALL,
+    ProtocolConfig,
+)
+
+
+def test_defaults_are_valid():
+    config = ProtocolConfig()
+    assert config.delta == 1.0
+    assert config.pi == 10.0
+    assert config.init_strategy == INIT_READ_ALL
+    assert config.catchup == CATCHUP_FULL
+
+
+def test_derived_waits_scale_with_delta():
+    config = ProtocolConfig(delta=2.0, pi=20.0)
+    assert config.invite_wait == pytest.approx(4.0, rel=1e-2)
+    assert config.commit_wait == pytest.approx(6.0, rel=1e-2)
+    assert config.probe_ack_wait == pytest.approx(4.0, rel=1e-2)
+
+
+def test_waits_are_strictly_beyond_round_trips():
+    """A reply can legally arrive at exactly 2 delta; the timers must not
+    fire before it (the paper's 'within the time limit' is inclusive)."""
+    config = ProtocolConfig(delta=1.0)
+    assert config.invite_wait > 2 * config.delta
+    assert config.commit_wait > 3 * config.delta
+    assert config.probe_ack_wait > 2 * config.delta
+
+
+def test_liveness_bound_formula():
+    """Δ = π + 8δ from §5."""
+    config = ProtocolConfig(delta=0.5, pi=7.0)
+    assert config.liveness_bound == pytest.approx(7.0 + 8 * 0.5)
+
+
+def test_pi_must_exceed_ack_collection():
+    with pytest.raises(ValueError):
+        ProtocolConfig(delta=1.0, pi=2.0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(delta=1.0, pi=1.5)
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(delta=0.0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(init_strategy="bogus")
+    with pytest.raises(ValueError):
+        ProtocolConfig(catchup="bogus")
+    with pytest.raises(ValueError):
+        ProtocolConfig(lock_timeout_deltas=0)
+
+
+def test_optimization_switches():
+    config = ProtocolConfig(init_strategy=INIT_PREVIOUS, catchup=CATCHUP_LOG,
+                            split_off_fastpath=True, weakened_r4=True)
+    assert config.init_strategy == INIT_PREVIOUS
+    assert config.catchup == CATCHUP_LOG
+    assert config.split_off_fastpath
+    assert config.weakened_r4
+
+
+def test_timeouts_in_delta_units():
+    config = ProtocolConfig(delta=2.0, pi=20.0, lock_timeout_deltas=10.0,
+                            access_timeout_deltas=12.0)
+    assert config.lock_timeout == 20.0
+    assert config.access_timeout == 24.0
+
+
+def test_frozen():
+    config = ProtocolConfig()
+    with pytest.raises(AttributeError):
+        config.delta = 9.0  # type: ignore[misc]

@@ -1,0 +1,56 @@
+"""Unit tests for virtual partition identifiers."""
+
+import pytest
+
+from repro.core.ids import VpId, initial_vp_id
+
+
+def test_total_order_by_sequence_then_pid():
+    assert VpId(1, 5) < VpId(2, 1)
+    assert VpId(2, 1) < VpId(2, 5)
+    assert not VpId(2, 5) < VpId(2, 5)
+
+
+def test_equality_and_hash():
+    assert VpId(3, 2) == VpId(3, 2)
+    assert hash(VpId(3, 2)) == hash(VpId(3, 2))
+    assert VpId(3, 2) != VpId(3, 1)
+
+
+def test_successor_is_strictly_greater_for_any_pid():
+    vpid = VpId(4, 9)
+    for pid in (1, 9, 100):
+        assert vpid < vpid.successor(pid)
+
+
+def test_successor_bumps_sequence_and_stamps_pid():
+    assert VpId(4, 9).successor(2) == VpId(5, 2)
+
+
+def test_initial_id():
+    assert initial_vp_id(7) == VpId(0, 7)
+
+
+def test_negative_sequence_rejected():
+    with pytest.raises(ValueError):
+        VpId(-1, 1)
+
+
+def test_ordering_against_other_types_raises():
+    with pytest.raises(TypeError):
+        _ = VpId(1, 1) < 42
+
+
+def test_sorted_is_creation_order():
+    ids = [VpId(2, 1), VpId(1, 9), VpId(2, 3), VpId(0, 2)]
+    assert sorted(ids) == [VpId(0, 2), VpId(1, 9), VpId(2, 1), VpId(2, 3)]
+
+
+def test_repr_is_compact():
+    assert repr(VpId(3, 4)) == "vp(3,4)"
+
+
+def test_frozen():
+    vpid = VpId(1, 1)
+    with pytest.raises(AttributeError):
+        vpid.n = 5  # type: ignore[misc]

@@ -1,0 +1,95 @@
+"""Unit tests for copy placement and the weighted majority rule (R1)."""
+
+import pytest
+
+from repro.core.views import CopyPlacement
+
+
+@pytest.fixture()
+def placement():
+    p = CopyPlacement()
+    p.place("x", holders=[1, 2, 3])                 # equal weights
+    p.place("a", holders={1: 2, 4: 1})              # Example 2's a², a
+    p.place("big", holders=[2, 3], size=500)
+    return p
+
+
+def test_copies_and_weights(placement):
+    assert placement.copies("x") == {1, 2, 3}
+    assert placement.weight("x", 2) == 1
+    assert placement.weight("x", 99) == 0
+    assert placement.weight("a", 1) == 2
+    assert placement.total_weight("a") == 3
+
+
+def test_unweighted_majority(placement):
+    assert placement.accessible("x", {1, 2})
+    assert not placement.accessible("x", {1})
+    assert placement.accessible("x", {1, 2, 3, 4})
+
+
+def test_weighted_majority_example2_shape(placement):
+    # a has weight 2 at p1: p1 alone is a majority of total weight 3.
+    assert placement.accessible("a", {1})
+    assert not placement.accessible("a", {4})
+    assert placement.accessible("a", {4, 1})
+
+
+def test_even_split_is_not_a_majority():
+    placement = CopyPlacement()
+    placement.place("y", holders=[1, 2, 3, 4])
+    assert not placement.accessible("y", {1, 2})  # 2 of 4: not strict
+    assert placement.accessible("y", {1, 2, 3})
+
+
+def test_accessible_objects_with_local_filter(placement):
+    # the local set restricts which objects are considered at all
+    accessible = placement.accessible_objects({1, 2, 3}, local={"x", "big"})
+    assert accessible == {"x", "big"}
+    # without the filter "a" also qualifies (p1's weight-2 copy in view)
+    assert placement.accessible("a", {1, 2, 3})
+
+
+def test_accessible_objects_unfiltered(placement):
+    assert placement.accessible_objects({1, 2, 3}) == {"x", "a", "big"}
+
+
+def test_local_objects(placement):
+    assert placement.local_objects(1) == {"x", "a"}
+    assert placement.local_objects(3) == {"x", "big"}
+    assert placement.local_objects(99) == set()
+
+
+def test_holders_by_distance(placement):
+    distance = {1: 0.0, 2: 0.4, 3: 0.2}.__getitem__
+    assert placement.holders_by_distance("x", {1, 2, 3}, distance) == [1, 3, 2]
+
+
+def test_holders_by_distance_restricted_to_view(placement):
+    distance = {1: 0.0, 2: 0.4, 3: 0.2}.__getitem__
+    assert placement.holders_by_distance("x", {2, 3}, distance) == [3, 2]
+
+
+def test_holders_by_distance_tie_breaks_on_pid(placement):
+    assert placement.holders_by_distance("x", {1, 2, 3},
+                                         lambda _q: 1.0) == [1, 2, 3]
+
+
+def test_size(placement):
+    assert placement.size("big") == 500
+    assert placement.size("x") == 1
+
+
+def test_validation():
+    placement = CopyPlacement()
+    placement.place("x", holders=[1])
+    with pytest.raises(KeyError):
+        placement.place("x", holders=[2])
+    with pytest.raises(ValueError):
+        placement.place("bad", holders={})
+    with pytest.raises(ValueError):
+        placement.place("bad", holders={1: 0})
+    with pytest.raises(ValueError):
+        placement.place("bad", holders=[1], size=0)
+    with pytest.raises(KeyError):
+        placement.copies("ghost")

@@ -1,0 +1,147 @@
+"""Protocol-task-level tests: creation races, stale messages, timers.
+
+These drive the Figs. 4–8 tasks through engineered message sequences —
+concurrent initiators, lost commits, stale probes — and check the
+arbitration rules the paper relies on.
+"""
+
+from repro import Cluster, VpId
+
+
+def build(n=4, seed=0, **kwargs):
+    cluster = Cluster(processors=n, seed=seed, **kwargs)
+    cluster.place("x", holders=list(range(1, n + 1)), initial=0)
+    cluster.start()
+    return cluster
+
+
+def test_concurrent_initiators_highest_id_wins():
+    """Fig. 5 line 14: when several processors attempt creation at
+    once, only the highest identifier's initiator commits a view."""
+    cluster = build()
+    cluster.run(until=5.0)
+    # Force three processors to attempt creation simultaneously.
+    for pid in (1, 2, 3):
+        cluster.protocol(pid).create_new_vp()
+    cluster.run(until=5.0 + cluster.config.liveness_bound)
+    ids = {cluster.protocol(p).current_partition for p in cluster.pids}
+    assert len(ids) == 1 and None not in ids
+    final = ids.pop()
+    # The surviving id was minted by the highest-pid initiator among
+    # the simultaneous attempts (ties break on pid in the ≺ order).
+    assert final.pid == 3
+
+
+def test_invitation_with_lower_id_is_refused():
+    cluster = build()
+    cluster.run(until=5.0)
+    state = cluster.protocol(2).state
+    before = state.cur_id
+    # p2 receives a stale invitation (lower than its max-id).
+    cluster.processors[1].send(2, "newvp", {"id": VpId(0, 1)})
+    cluster.run(until=10.0)
+    assert cluster.protocol(2).state.cur_id == before
+    assert cluster.protocol(2).assigned
+
+
+def test_commit_for_stale_id_is_ignored():
+    cluster = build()
+    cluster.run(until=5.0)
+    state = cluster.protocol(2).state
+    before_view = set(state.lview)
+    cluster.processors[1].send(2, "commit", {
+        "id": VpId(0, 1), "view": [1, 2], "previous_map": {},
+    })
+    cluster.run(until=10.0)
+    assert set(cluster.protocol(2).state.lview) == before_view
+
+
+def test_acceptance_departs_current_partition():
+    """Fig. 6 line 7: accepting an invitation means departing — the
+    processor is unassigned until the commit arrives (S3's ordering)."""
+    cluster = build()
+    cluster.run(until=5.0)
+    huge = VpId(99, 1)
+    # Deliver an invitation from p1 without any initiator running: p2
+    # accepts, departs, and sets its 3δ timer.
+    cluster.processors[1].send(2, "newvp", {"id": huge})
+    cluster.run(until=6.5)  # invitation delivered at ~6.0
+    assert not cluster.protocol(2).assigned
+    assert cluster.protocol(2).state.max_id == huge
+    # No commit ever comes; the timer fires and p2 re-creates with an
+    # even higher id, dragging everyone into a fresh partition.
+    cluster.run(until=6.5 + 3 * cluster.config.liveness_bound)
+    assert cluster.protocol(2).assigned
+    assert cluster.protocol(2).state.cur_id > huge
+
+
+def test_probe_with_stale_id_is_skipped():
+    """Fig. 8: v ≺ cur-id → skip (an old delayed message)."""
+    cluster = build()
+    cluster.run(until=5.0)
+    created_before = cluster.total_metrics().vp_created
+    cluster.processors[1].send(2, "probe",
+                               {"from": 1, "v": VpId(0, 1), "m": 99})
+    cluster.run(until=10.0)
+    assert cluster.total_metrics().vp_created == created_before
+    assert cluster.protocol(2).assigned
+
+
+def test_probe_with_higher_id_triggers_merge():
+    """Fig. 8: cur-id ≺ v proves cross-partition communication."""
+    cluster = build()
+    cluster.run(until=5.0)
+    old = cluster.protocol(2).state.cur_id
+    cluster.processors[1].send(2, "probe",
+                               {"from": 1, "v": VpId(50, 1), "m": 0})
+    cluster.run(until=5.0 + cluster.config.liveness_bound)
+    new = cluster.protocol(2).state.cur_id
+    assert new > VpId(50, 1), "merge must out-number the probed partition"
+
+
+def test_ack_with_wrong_sequence_is_ignored():
+    """Fig. 7 line 16: only acks for the CURRENT probe round count —
+    a stale ack must not mask a dead processor."""
+    cluster = build()
+    cluster.run(until=5.0)
+    # Craft a stale ack from p4 to p1 with an old sequence number, then
+    # crash p4; p1's next round must still detect the silence.
+    cluster.injector.crash_at(6.0, 4)
+    cluster.processors[4].send(1, "probe-ack", {"from": 4, "m": 999_999})
+    cluster.run(until=6.0 + cluster.config.liveness_bound)
+    assert 4 not in cluster.protocol(1).view
+
+
+def test_unassigned_processor_does_not_answer_probes():
+    """Fig. 8's outer guard: only assigned processors acknowledge."""
+    cluster = build()
+    cluster.run(until=5.0)
+    cluster.protocol(2).state.depart()
+    acks_from_p2 = []
+    cluster.network.tap = (
+        lambda m: acks_from_p2.append(m)
+        if m.kind == "probe-ack" and m.src == 2 else None
+    )
+    cluster.processors[1].send(2, "probe", {
+        "from": 1, "v": cluster.protocol(1).state.cur_id, "m": 12345,
+    })
+    cluster.run(until=9.0)
+    assert not any(m.payload["m"] == 12345 for m in acks_from_p2), (
+        "an unassigned processor answered a probe"
+    )
+    cluster.network.tap = None
+    # The system self-heals: p2's silence drags everyone (p2 included)
+    # into a fresh partition.
+    cluster.run(until=5.0 + 2 * cluster.config.liveness_bound)
+    assert cluster.protocol(1).assigned and cluster.protocol(2).assigned
+
+
+def test_view_history_records_every_joined_partition():
+    cluster = build()
+    cluster.injector.partition_at(5.0, [{1, 2}, {3, 4}])
+    cluster.injector.heal_all_at(60.0)
+    cluster.run(until=120.0)
+    state = cluster.protocol(1).state
+    assert state.cur_id in state.view_history
+    assert state.view_history[state.cur_id] == frozenset(state.lview)
+    assert len(state.view_history) >= 3  # boot, split, merge

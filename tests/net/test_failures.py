@@ -1,0 +1,135 @@
+"""Unit tests for failure injection."""
+
+import random
+
+import pytest
+
+from repro.net import CommGraph, FailureInjector, RandomFailures
+from repro.sim import Simulator
+
+
+class FakeProcessor:
+    def __init__(self):
+        self.events = []
+
+    def crash(self):
+        self.events.append("crash")
+
+    def recover(self):
+        self.events.append("recover")
+
+
+def test_scripted_crash_and_recover():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3])
+    proc = FakeProcessor()
+    injector = FailureInjector(sim, graph, {2: proc})
+    injector.crash_at(5.0, 2)
+    injector.recover_at(10.0, 2)
+
+    sim.run(until=7.0)
+    assert not graph.node_up(2)
+    assert proc.events == ["crash"]
+
+    sim.run(until=12.0)
+    assert graph.node_up(2)
+    assert proc.events == ["crash", "recover"]
+    assert [label for _, label in injector.log] == ["crash(2)", "recover(2)"]
+
+
+def test_scripted_link_cut_and_heal():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.cut_at(1.0, 1, 2)
+    injector.heal_at(2.0, 1, 2)
+    sim.run(until=1.5)
+    assert not graph.has_edge(1, 2)
+    sim.run(until=3.0)
+    assert graph.has_edge(1, 2)
+
+
+def test_scripted_partition_sequence():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3, 4])
+    injector = FailureInjector(sim, graph)
+    injector.partition_at(1.0, [{1, 2}, {3, 4}])
+    injector.partition_at(2.0, [{2, 3}, {1, 4}])
+    injector.heal_all_at(3.0)
+    sim.run(until=1.5)
+    assert sorted(map(sorted, graph.clusters())) == [[1, 2], [3, 4]]
+    sim.run(until=2.5)
+    assert sorted(map(sorted, graph.clusters())) == [[1, 4], [2, 3]]
+    sim.run(until=3.5)
+    assert graph.clusters() == [{1, 2, 3, 4}]
+
+
+def test_past_time_rejected():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        injector.crash_at(1.0, 1)
+
+
+def test_late_bound_processor_map():
+    sim = Simulator()
+    graph = CommGraph([1])
+    injector = FailureInjector(sim, graph)
+    proc = FakeProcessor()
+    injector.set_processors({1: proc})
+    injector.crash_at(1.0, 1)
+    sim.run()
+    assert proc.events == ["crash"]
+
+
+def test_random_failures_produce_crash_recover_pairs():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3])
+    injector = FailureInjector(sim, graph, {p: FakeProcessor() for p in (1, 2, 3)})
+    process = RandomFailures(
+        injector, random.Random(42),
+        node_mttf=10.0, node_mttr=2.0, horizon=200.0,
+    )
+    process.install()
+    sim.run(until=400.0)
+    crashes = [l for _, l in injector.log if "crash" in l]
+    recovers = [l for _, l in injector.log if "recover" in l]
+    assert crashes, "expected some random crashes in 200 time units"
+    # Every crash is eventually repaired (horizon stops new crashes only).
+    assert len(recovers) == len(crashes)
+    assert graph.alive_nodes() == {1, 2, 3}
+
+
+def test_random_failures_deterministic_given_seed():
+    def run_once():
+        sim = Simulator()
+        graph = CommGraph([1, 2])
+        injector = FailureInjector(sim, graph)
+        RandomFailures(injector, random.Random(7), node_mttf=5.0,
+                       node_mttr=1.0, horizon=100.0).install()
+        sim.run(until=150.0)
+        return injector.log
+
+    assert run_once() == run_once()
+
+
+def test_random_failures_validation():
+    sim = Simulator()
+    graph = CommGraph([1])
+    injector = FailureInjector(sim, graph)
+    with pytest.raises(ValueError):
+        RandomFailures(injector, random.Random(1), node_mttf=-1.0)
+
+
+def test_random_link_failures():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3])
+    injector = FailureInjector(sim, graph)
+    RandomFailures(injector, random.Random(3), link_mttf=5.0,
+                   link_mttr=1.0, horizon=100.0).install()
+    sim.run(until=150.0)
+    cuts = [l for _, l in injector.log if "cut" in l]
+    assert cuts

@@ -1,0 +1,85 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    DistanceLatency,
+    FixedLatency,
+    UniformLatency,
+    ring_distances,
+)
+
+
+def test_fixed_latency_is_constant():
+    model = FixedLatency(2.0)
+    rng = random.Random(1)
+    assert model.delay(1, 2, rng) == 2.0
+    assert model.bound == 2.0
+    assert model.distance(1, 2) == 2.0
+    assert model.distance(3, 3) == 0.0
+
+
+def test_fixed_latency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        FixedLatency(0.0)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(0.5, 1.5)
+    rng = random.Random(1)
+    samples = [model.delay(1, 2, rng) for _ in range(200)]
+    assert all(0.5 <= s <= 1.5 for s in samples)
+    assert model.bound == 1.5
+    assert model.distance(1, 2) == pytest.approx(1.0)
+
+
+def test_uniform_latency_validates_range():
+    with pytest.raises(ValueError):
+        UniformLatency(2.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformLatency(0.0, 1.0)
+
+
+def test_distance_latency_uses_table_symmetrically():
+    model = DistanceLatency({(1, 2): 0.3, (2, 3): 0.9}, default=1.0)
+    rng = random.Random(1)
+    assert model.delay(1, 2, rng) == 0.3
+    assert model.delay(2, 1, rng) == 0.3
+    assert model.delay(2, 3, rng) == 0.9
+    assert model.delay(1, 3, rng) == 1.0  # default
+    assert model.distance(1, 2) == 0.3
+
+
+def test_distance_latency_bound_covers_jitter():
+    model = DistanceLatency({(1, 2): 2.0}, default=1.0, jitter=0.5)
+    assert model.bound == pytest.approx(3.0)
+    rng = random.Random(1)
+    samples = [model.delay(1, 2, rng) for _ in range(100)]
+    assert all(2.0 <= s <= 3.0 for s in samples)
+
+
+def test_distance_latency_local_access_is_cheap():
+    model = DistanceLatency({}, default=1.0, local=0.01)
+    rng = random.Random(1)
+    assert model.delay(5, 5, rng) == 0.01
+    assert model.distance(5, 5) == 0.0
+
+
+def test_distance_latency_validation():
+    with pytest.raises(ValueError):
+        DistanceLatency({(1, 2): 0.0})
+    with pytest.raises(ValueError):
+        DistanceLatency({}, default=0.0)
+    with pytest.raises(ValueError):
+        DistanceLatency({}, jitter=-0.1)
+
+
+def test_ring_distances_nearest_is_adjacent():
+    table = ring_distances([1, 2, 3, 4, 5], near=0.2, far_step=0.4)
+    model = DistanceLatency(table)
+    # Node 1's nearest others are its ring neighbours 2 and 5.
+    distances = {q: model.distance(1, q) for q in (2, 3, 4, 5)}
+    assert distances[2] == distances[5] == 0.2
+    assert distances[3] == distances[4] == pytest.approx(0.6)

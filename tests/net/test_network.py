@@ -1,0 +1,124 @@
+"""Unit tests for the message transport."""
+
+import random
+
+import pytest
+
+from repro.net import CommGraph, FixedLatency, Message, Network
+from repro.sim import Simulator
+
+
+def build(n=3, **kwargs):
+    sim = Simulator()
+    graph = CommGraph(range(1, n + 1))
+    net = Network(sim, graph, FixedLatency(1.0), random.Random(1), **kwargs)
+    inboxes = {p: [] for p in graph.nodes}
+    for p in graph.nodes:
+        net.register(p, lambda m, box=inboxes[p]: box.append(m))
+    return sim, graph, net, inboxes
+
+
+def test_message_delivered_after_latency():
+    sim, _, net, inboxes = build()
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert sim.now == 1.0
+    assert [m.kind for m in inboxes[2]] == ["ping"]
+    assert net.stats.sent == net.stats.delivered == 1
+
+
+def test_send_on_cut_link_is_dropped():
+    sim, graph, net, inboxes = build()
+    graph.cut_link(1, 2)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert inboxes[2] == []
+    assert net.stats.dropped_no_edge == 1
+
+
+def test_link_cut_mid_flight_drops_message():
+    sim, graph, net, inboxes = build()
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.timeout(0.5).add_callback(lambda e: graph.cut_link(1, 2))
+    sim.run()
+    assert inboxes[2] == []
+    assert net.stats.dropped_in_flight == 1
+
+
+def test_destination_crash_mid_flight_drops_message():
+    sim, graph, net, inboxes = build()
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.timeout(0.5).add_callback(lambda e: graph.crash_node(2))
+    sim.run()
+    assert inboxes[2] == []
+    assert net.stats.dropped > 0
+
+
+def test_loss_probability_drops_some():
+    sim, _, net, inboxes = build(loss_prob=0.5)
+    for _ in range(100):
+        net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert 0 < len(inboxes[2]) < 100
+    assert net.stats.dropped_lost == 100 - len(inboxes[2])
+
+
+def test_slow_messages_exceed_bound_but_arrive():
+    sim, _, net, inboxes = build(slow_prob=0.99, slow_factor=5.0)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert len(inboxes[2]) == 1
+    assert sim.now == pytest.approx(5.0)
+    assert net.stats.slow == 1
+
+
+def test_duplicates_counted_and_delivered():
+    sim, _, net, inboxes = build(dup_prob=0.99)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert len(inboxes[2]) == 2
+    assert net.stats.duplicated == 1
+
+
+def test_by_kind_counters():
+    sim, _, net, _ = build()
+    net.send(Message(src=1, dst=2, kind="probe"))
+    net.send(Message(src=1, dst=3, kind="probe"))
+    net.send(Message(src=2, dst=3, kind="read"))
+    sim.run()
+    assert net.stats.by_kind == {"probe": 2, "read": 1}
+
+
+def test_reply_envelope_links_request():
+    request = Message(src=1, dst=2, kind="read", payload={"obj": "x"})
+    response = request.reply("read-reply", {"value": 7})
+    assert response.src == 2 and response.dst == 1
+    assert response.reply_to == request.msg_id
+    assert response.payload["value"] == 7
+
+
+def test_unknown_destination_rejected():
+    sim, _, net, _ = build()
+    with pytest.raises(KeyError):
+        net.send(Message(src=1, dst=42, kind="ping"))
+
+
+def test_parameter_validation():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        Network(sim, graph, FixedLatency(1.0), rng, loss_prob=1.5)
+    with pytest.raises(ValueError):
+        Network(sim, graph, FixedLatency(1.0), rng, slow_factor=0.5)
+
+
+def test_wiretap_sees_all_sends():
+    sim, graph, net, _ = build()
+    graph.cut_link(1, 2)
+    tapped = []
+    net.tap = tapped.append
+    net.send(Message(src=1, dst=2, kind="lost"))
+    net.send(Message(src=1, dst=3, kind="kept"))
+    sim.run()
+    assert [m.kind for m in tapped] == ["lost", "kept"]

@@ -1,0 +1,150 @@
+"""Edge-case tests: RPC and mailbox behaviour across crashes."""
+
+import random
+
+import pytest
+
+from repro.net import CommGraph, FixedLatency, Network
+from repro.node import NoResponse, Processor
+from repro.sim import Simulator
+
+
+def build(n=3):
+    sim = Simulator()
+    graph = CommGraph(range(1, n + 1))
+    net = Network(sim, graph, FixedLatency(1.0), random.Random(1))
+    procs = {p: Processor(p, sim, net) for p in graph.nodes}
+    return sim, graph, net, procs
+
+
+def test_rpc_to_crashed_server_times_out():
+    sim, graph, _, procs = build()
+    graph.crash_node(2)
+    procs[2].crash()
+
+    def client():
+        try:
+            yield from procs[1].rpc(2, "ask", {}, timeout=4.0)
+        except NoResponse:
+            return sim.now
+
+    proc = sim.process(client())
+    sim.run()
+    assert proc.value == 4.0
+
+
+def test_server_crash_after_request_before_reply():
+    sim, graph, _, procs = build()
+
+    def server():
+        message = yield procs[2].receive("ask")
+        yield sim.timeout(5.0)  # crash interrupts this wait
+        procs[2].reply(message, "ask-reply")
+
+    outcomes = []
+
+    def client():
+        try:
+            yield from procs[1].rpc(2, "ask", {}, timeout=10.0)
+            outcomes.append("replied")
+        except NoResponse:
+            outcomes.append("no-response")
+
+    sim.process(server())
+    sim.process(client())
+    sim.timeout(2.0).add_callback(lambda e: (graph.crash_node(2),
+                                             procs[2].crash()))
+    sim.run()
+    assert outcomes == ["no-response"]
+
+
+def test_requester_crash_drops_pending_reply():
+    sim, graph, _, procs = build()
+
+    def server():
+        message = yield procs[2].receive("ask")
+        yield sim.timeout(3.0)
+        procs[2].reply(message, "ask-reply")
+
+    state = []
+
+    def client():
+        try:
+            response = yield from procs[1].rpc(2, "ask", {}, timeout=20.0)
+            state.append(("got", response))
+        except NoResponse:
+            state.append(("timeout", None))
+
+    sim.process(server())
+    client_proc = sim.process(client())
+    # p1 crashes while the reply is on its way back.
+    sim.timeout(2.5).add_callback(lambda e: (graph.crash_node(1),
+                                             procs[1].crash()))
+    sim.run(until=30.0)
+    # The reply was dropped (p1 was down); no mailbox pollution on p1.
+    assert all(len(procs[1].mailbox(k)) == 0
+               for k in ("ask-reply", "ask"))
+
+
+def test_recovered_processor_serves_again():
+    sim, graph, _, procs = build()
+
+    def echo_task():
+        while True:
+            message = yield procs[2].receive("echo")
+            procs[2].reply(message, "echo-reply",
+                           {"text": message.payload["text"]})
+
+    procs[2].add_task("echo", echo_task)
+    procs[2].start()
+
+    graph.crash_node(2)
+    procs[2].crash()
+    sim.run(until=5.0)
+    graph.recover_node(2)
+    procs[2].recover()
+
+    def client():
+        response = yield from procs[1].rpc(2, "echo", {"text": "back"},
+                                           timeout=5.0)
+        return response.payload["text"]
+
+    proc = sim.process(client())
+    sim.run()
+    assert proc.value == "back"
+
+
+def test_messages_queued_while_down_are_not_delivered_after_recovery():
+    sim, graph, _, procs = build()
+    graph.crash_node(2)
+    procs[2].crash()
+    procs[1].send(2, "note", {"n": 1})
+    sim.run(until=5.0)
+    graph.recover_node(2)
+    procs[2].recover()
+    sim.run(until=10.0)
+    assert len(procs[2].mailbox("note")) == 0, (
+        "messages sent while a processor is down are lost, not queued"
+    )
+
+
+def test_two_rpcs_in_flight_matched_correctly():
+    sim, _, _, procs = build()
+
+    def server():
+        while True:
+            message = yield procs[2].receive("ask")
+            procs[2].reply(message, "ask-reply",
+                           {"echo": message.payload["n"]})
+
+    def client(n, delay):
+        yield sim.timeout(delay)
+        response = yield from procs[1].rpc(2, "ask", {"n": n}, timeout=10.0)
+        return response.payload["echo"]
+
+    sim.process(server())
+    first = sim.process(client(1, 0.0))
+    second = sim.process(client(2, 0.1))
+    sim.run()
+    assert first.value == 1
+    assert second.value == 2

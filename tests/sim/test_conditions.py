@@ -1,0 +1,121 @@
+"""Unit tests for AnyOf/AllOf composite events."""
+
+import pytest
+
+from repro.sim import AnyOf, ConditionValue, Simulator
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+
+    def racer():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(5.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        return (sim.now, fast in result, slow in result, result[fast])
+
+    proc = sim.process(racer())
+    sim.run()
+    now, has_fast, has_slow, value = proc.value
+    assert now == 1.0
+    assert has_fast and not has_slow
+    assert value == "fast"
+
+
+def test_anyof_cancels_losers():
+    sim = Simulator()
+
+    def racer():
+        fast = sim.timeout(1.0)
+        slow = sim.timeout(5.0)
+        yield sim.any_of([fast, slow])
+        return slow
+
+    proc = sim.process(racer())
+    sim.run()
+    slow = proc.value
+    assert not slow.triggered  # cancelled, never fires
+    assert sim.now == 1.0  # queue drained early: loser was discarded
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def gather():
+        events = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        result = yield sim.all_of(events)
+        return (sim.now, [result[e] for e in events])
+
+    proc = sim.process(gather())
+    sim.run()
+    now, values = proc.value
+    assert now == 3.0
+    assert values == [3.0, 1.0, 2.0]
+
+
+def test_empty_condition_fires_immediately():
+    sim = Simulator()
+
+    def instant():
+        result = yield sim.all_of([])
+        return (sim.now, len(result))
+
+    proc = sim.process(instant())
+    sim.run()
+    assert proc.value == (0.0, 0)
+
+
+def test_condition_over_triggered_events():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("x")
+
+    def waiter():
+        result = yield sim.any_of([done, sim.timeout(10.0)])
+        return result[done]
+
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "x"
+
+
+def test_condition_propagates_failure():
+    sim = Simulator()
+    bad = sim.event()
+
+    def waiter():
+        try:
+            yield sim.any_of([bad, sim.timeout(10.0)])
+        except ValueError as exc:
+            return str(exc)
+
+    proc = sim.process(waiter())
+    bad.fail(ValueError("poisoned"))
+    sim.run()
+    assert proc.value == "poisoned"
+
+
+def test_mixed_simulators_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    event_b = sim_b.event()
+    with pytest.raises(ValueError):
+        AnyOf(sim_a, [sim_a.event(), event_b])
+
+
+def test_condition_value_mapping_interface():
+    sim = Simulator()
+    a = sim.timeout(1.0, value="va")
+    b = sim.timeout(1.0, value="vb")
+
+    def waiter():
+        result = yield sim.all_of([a, b])
+        return result
+
+    proc = sim.process(waiter())
+    sim.run()
+    result = proc.value
+    assert isinstance(result, ConditionValue)
+    assert result[a] == "va" and result[b] == "vb"
+    assert set(result) == {a, b}
+    with pytest.raises(KeyError):
+        _ = result[sim.event()]

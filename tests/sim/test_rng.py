@@ -1,0 +1,45 @@
+"""Unit tests for named random substreams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("latency")
+    b = RandomStreams(7).stream("latency")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = [streams.stream("latency").random() for _ in range(5)]
+    b = [streams.stream("failures").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draws_in_one_stream_do_not_shift_another():
+    lhs = RandomStreams(7)
+    lhs.stream("noise").random()
+    lhs.stream("noise").random()
+    value_after_noise = lhs.stream("signal").random()
+
+    rhs = RandomStreams(7)
+    value_without_noise = rhs.stream("signal").random()
+    assert value_after_noise == value_without_noise
+
+
+def test_fork_is_independent_and_reproducible():
+    parent = RandomStreams(7)
+    child_a = parent.fork("worker")
+    child_b = RandomStreams(7).fork("worker")
+    assert child_a.stream("s").random() == child_b.stream("s").random()
+    assert parent.stream("s").random() != RandomStreams(8).stream("s").random()
+
+
+def test_different_seeds_differ():
+    assert (RandomStreams(1).stream("s").random()
+            != RandomStreams(2).stream("s").random())

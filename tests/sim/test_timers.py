@@ -1,0 +1,126 @@
+"""Unit tests for the paper-style restartable Timer."""
+
+import pytest
+
+from repro.sim import Simulator, Timer
+
+
+def test_timer_fires_after_duration():
+    sim = Simulator()
+    timer = Timer(sim)
+    timer.set(5.0)
+
+    def waiter():
+        yield timer.wait()
+        return sim.now
+
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == 5.0
+
+
+def test_timer_rearm_extends_expiry():
+    sim = Simulator()
+    timer = Timer(sim)
+    timer.set(5.0)
+
+    def rearm():
+        yield sim.timeout(3.0)
+        timer.set(10.0)
+
+    def waiter():
+        # Wait issued after re-arm sees the new expiry.
+        yield sim.timeout(4.0)
+        yield timer.wait()
+        return sim.now
+
+    sim.process(rearm())
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == 13.0
+
+
+def test_rearm_invalidates_outstanding_wait():
+    sim = Simulator()
+    timer = Timer(sim)
+    timer.set(5.0)
+    stale = timer.wait()
+    timer.set(100.0)
+    sim.run(until=50.0)
+    assert not stale.triggered
+
+
+def test_reset_disarms():
+    sim = Simulator()
+    timer = Timer(sim)
+    timer.set(5.0)
+    wait = timer.wait()
+    timer.reset()
+    sim.run(until=10.0)
+    assert not wait.triggered
+    assert not timer.armed
+    assert timer.expiry is None
+
+
+def test_wait_on_disarmed_timer_never_fires():
+    sim = Simulator()
+    timer = Timer(sim)
+    wait = timer.wait()
+    sim.timeout(100.0)
+    sim.run()
+    assert not wait.triggered
+
+
+def test_timer_in_select_loop():
+    """The paper's idiom: select from receive(...) | T.timeout."""
+    sim = Simulator()
+    timer = Timer(sim)
+    from repro.sim import MessageQueue
+
+    inbox = MessageQueue(sim)
+    outcomes = []
+
+    def selector():
+        timer.set(10.0)
+        while True:
+            get = inbox.get()
+            tick = timer.wait()
+            result = yield sim.any_of([get, tick])
+            if get in result:
+                outcomes.append(("msg", result[get], sim.now))
+            else:
+                outcomes.append(("timeout", None, sim.now))
+                return
+
+    def feeder():
+        yield sim.timeout(2.0)
+        inbox.put("hello")
+        yield sim.timeout(2.0)
+        inbox.put("again")
+
+    sim.process(selector())
+    sim.process(feeder())
+    sim.run()
+    assert outcomes == [
+        ("msg", "hello", 2.0),
+        ("msg", "again", 4.0),
+        ("timeout", None, 10.0),
+    ]
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    timer = Timer(sim)
+    with pytest.raises(ValueError):
+        timer.set(-1.0)
+
+
+def test_armed_property_expires():
+    sim = Simulator()
+    timer = Timer(sim)
+    timer.set(5.0)
+    assert timer.armed
+    assert timer.expiry == 5.0
+    sim.timeout(6.0)
+    sim.run()
+    assert not timer.armed

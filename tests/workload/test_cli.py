@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_crash, _parse_partition, build_parser, main
+
+
+def test_parse_partition():
+    when, blocks = _parse_partition("1,2,3|4,5@50")
+    assert when == 50.0
+    assert blocks == [[1, 2, 3], [4, 5]]
+
+
+def test_parse_partition_rejects_garbage():
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_partition("nope")
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_partition("|@5")
+
+
+def test_parse_crash():
+    assert _parse_crash("4@30") == (30.0, 4)
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_crash("4-30")
+
+
+def test_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["run"])
+    assert args.protocol == "virtual-partitions"
+    assert args.processors == 5
+    assert args.cc == "2pl"
+
+
+def test_run_command_prints_table(capsys):
+    code = main(["run", "--duration", "60", "--processors", "3",
+                 "--objects", "3", "--check"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "virtual-partitions" in out
+    assert "committed" in out
+
+
+def test_run_with_failures(capsys):
+    code = main(["run", "--duration", "80", "--processors", "3",
+                 "--objects", "3", "--retries", "2",
+                 "--partition", "1,2|3@20", "--heal-at", "60",
+                 "--crash", "3@70", "--recover", "3@75"])
+    assert code == 0
+    assert "committed" in capsys.readouterr().out
+
+
+def test_run_with_tso(capsys):
+    code = main(["run", "--duration", "60", "--processors", "3",
+                 "--objects", "3", "--cc", "tso"])
+    assert code == 0
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--protocols", "virtual-partitions,rowa",
+                 "--duration", "60", "--processors", "3", "--objects", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rowa" in out and "virtual-partitions" in out
+
+
+def test_scenario_command(capsys):
+    code = main(["scenario", "example1", "--flavor", "naive"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "example1" in out and "naive" in out
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "paxos"])

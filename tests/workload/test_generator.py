@@ -1,0 +1,98 @@
+"""Unit tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec, body_for
+
+
+def make(spec=None, objects=None, seed=1):
+    return WorkloadGenerator(
+        spec or WorkloadSpec(),
+        objects or [f"o{i}" for i in range(10)],
+        random.Random(seed),
+    )
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(read_fraction=1.5)
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops_per_txn=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(zipf_s=-1)
+    with pytest.raises(ValueError):
+        WorkloadSpec(mean_interarrival=0)
+
+
+def test_generator_needs_objects():
+    with pytest.raises(ValueError):
+        WorkloadGenerator(WorkloadSpec(), [], random.Random(1))
+
+
+def test_program_shape():
+    generator = make(WorkloadSpec(ops_per_txn=3))
+    program = generator.next_program()
+    assert len(program) == 3
+    kinds = {kind for kind, _obj in program}
+    assert kinds <= {"r", "w"}
+    objects = [obj for _k, obj in program]
+    assert len(set(objects)) == 3  # distinct objects
+    assert objects == sorted(objects)  # canonical lock order
+
+
+def test_ops_capped_by_object_count():
+    generator = make(WorkloadSpec(ops_per_txn=50), objects=["a", "b"])
+    assert len(generator.next_program()) == 2
+
+
+def test_read_fraction_respected_statistically():
+    generator = make(WorkloadSpec(read_fraction=0.9, ops_per_txn=1))
+    kinds = [generator.next_program()[0][0] for _ in range(500)]
+    reads = kinds.count("r")
+    assert 400 <= reads <= 490
+
+
+def test_pure_read_and_pure_write_mixes():
+    reader = make(WorkloadSpec(read_fraction=1.0, ops_per_txn=2))
+    assert all(k == "r" for k, _ in reader.next_program())
+    writer = make(WorkloadSpec(read_fraction=0.0, ops_per_txn=2))
+    assert all(k == "w" for k, _ in writer.next_program())
+
+
+def test_zipf_skews_towards_first_objects():
+    generator = make(WorkloadSpec(zipf_s=1.5, ops_per_txn=1))
+    picks = [generator.pick_object() for _ in range(1000)]
+    first = picks.count("o0")
+    last = picks.count("o9")
+    assert first > 5 * max(last, 1)
+
+
+def test_interarrival_is_exponential_with_given_mean():
+    generator = make(WorkloadSpec(mean_interarrival=4.0))
+    samples = [generator.next_interarrival() for _ in range(2000)]
+    mean = sum(samples) / len(samples)
+    assert 3.5 <= mean <= 4.5
+
+
+def test_same_seed_same_stream():
+    a, b = make(seed=7), make(seed=7)
+    assert [a.next_program() for _ in range(10)] == \
+           [b.next_program() for _ in range(10)]
+
+
+def test_body_for_executes_program():
+    from repro import Cluster
+
+    cluster = Cluster(processors=3, seed=1)
+    cluster.place("a", holders=[1, 2, 3], initial=10)
+    cluster.place("b", holders=[1, 2, 3], initial=20)
+    cluster.start()
+    body = body_for([("r", "a"), ("w", "b")], tag="t")
+    outcome = cluster.submit(1, body)
+    cluster.run(until=40.0)
+    committed, result = outcome.value
+    assert committed and result == 10  # returns the last read
+    value, _ = cluster.processor(2).store.peek("b")
+    assert isinstance(value, str) and value.startswith("t#")

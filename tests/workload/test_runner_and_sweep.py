@@ -1,0 +1,118 @@
+"""Unit tests for the experiment runner and sweeps."""
+
+import pytest
+
+from repro.workload import (
+    ExperimentSpec,
+    WorkloadSpec,
+    build_cluster,
+    grid,
+    run_experiment,
+    sweep,
+    sweep_protocols,
+)
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        processors=3, objects=4, seed=2, duration=120.0, grace=30.0,
+        workload=WorkloadSpec(read_fraction=0.8, ops_per_txn=2,
+                              mean_interarrival=10.0),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+def test_build_cluster_places_objects_round_robin():
+    cluster = build_cluster(small_spec(copies_per_object=2))
+    assert cluster.placement.copies("o0") == {1, 2}
+    assert cluster.placement.copies("o1") == {2, 3}
+    assert cluster.placement.copies("o2") == {3, 1}
+
+
+def test_build_cluster_full_replication_default():
+    cluster = build_cluster(small_spec())
+    assert cluster.placement.copies("o0") == {1, 2, 3}
+
+
+def test_copies_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        build_cluster(small_spec(copies_per_object=9))
+
+
+def test_run_experiment_produces_work():
+    result = run_experiment(small_spec())
+    assert result.committed > 0
+    assert result.metrics.logical_reads > 0
+    assert result.network["sent"] > 0
+    assert 0.0 < result.commit_rate <= 1.0
+
+
+def test_run_experiment_check_flag():
+    result = run_experiment(small_spec(duration=60.0, check=True))
+    assert result.one_copy_ok is True
+
+
+def test_derived_metrics():
+    result = run_experiment(small_spec())
+    assert result.reads_per_logical_read == pytest.approx(1.0)
+    assert result.writes_per_logical_write == pytest.approx(3.0)
+    mix = result.accesses_per_operation
+    assert 1.0 <= mix <= 3.0
+    assert result.messages_per_committed_txn > 0
+
+
+def test_experiment_is_deterministic():
+    a = run_experiment(small_spec())
+    b = run_experiment(small_spec())
+    assert (a.committed, a.aborted) == (b.committed, b.aborted)
+    assert a.network["sent"] == b.network["sent"]
+
+
+def test_sweep_over_spec_field():
+    results = sweep(small_spec(duration=60.0), "seed", [1, 2])
+    assert len(results) == 2
+    assert results[0][0] == 1 and results[1][0] == 2
+
+
+def test_sweep_over_workload_field():
+    results = sweep(small_spec(duration=60.0), "workload.read_fraction",
+                    [0.5, 1.0])
+    pure_reads = results[1][1]
+    assert pure_reads.metrics.logical_writes == 0
+
+
+def test_sweep_unknown_axis_rejected():
+    with pytest.raises(AttributeError):
+        sweep(small_spec(), "bogus", [1])
+    with pytest.raises(AttributeError):
+        sweep(small_spec(), "workload.bogus", [1])
+
+
+def test_sweep_protocols_pairs_seeds():
+    results = sweep_protocols(small_spec(duration=60.0),
+                              ["virtual-partitions", "rowa"])
+    assert set(results) == {"virtual-partitions", "rowa"}
+    # identical workload stream: same number of attempts
+    vp, rowa = results["virtual-partitions"], results["rowa"]
+    assert vp.attempted == rowa.attempted
+
+
+def test_grid_cartesian():
+    results = grid(small_spec(duration=40.0),
+                   {"seed": [1, 2], "objects": [2, 3]})
+    assert len(results) == 4
+    points = {(p["seed"], p["objects"]) for p, _ in results}
+    assert points == {(1, 2), (1, 3), (2, 2), (2, 3)}
+
+
+def test_failures_callback_runs():
+    seen = []
+
+    def inject(cluster):
+        seen.append(True)
+        cluster.injector.crash_at(10.0, 3)
+
+    result = run_experiment(small_spec(failures=inject, retries=1))
+    assert seen == [True]
+    assert result.committed > 0  # 2-of-3 majority still works
