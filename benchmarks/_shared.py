@@ -5,12 +5,20 @@ quantifies one of its claims (the experiment ids E1–E9 in DESIGN.md).
 Every file is both a pytest-benchmark target (``pytest benchmarks/
 --benchmark-only``) and a standalone script (``python
 benchmarks/bench_access_cost.py`` prints the table).
+
+Each bench's ``run()`` accepts keyword overrides for its sweep
+parameters; the module-level ``SMOKE`` dict holds a tiny configuration
+the smoke tests (``tests/benchmarks/test_smoke.py``) run every entry
+point with.  Alongside its human-readable table, every bench routes its
+headline numbers through a :class:`repro.obs.metrics.MetricsRegistry`
+and prints them as one ``{"bench": ..., "metrics": ...}`` JSON line.
 """
 
 from __future__ import annotations
 
+import json
 import sys
-from typing import Callable
+from typing import Callable, Mapping, Optional
 
 
 def report(text: str) -> None:
@@ -19,6 +27,26 @@ def report(text: str) -> None:
     print()
     print(text)
     sys.stdout.flush()
+
+
+def emit_metrics(bench: str, values: Optional[Mapping[str, float]] = None,
+                 registry=None) -> dict:
+    """Print a bench's headline numbers as one structured JSON line.
+
+    ``values`` is a flat ``{metric-name: number}`` mapping routed
+    through a fresh registry as gauges; pass ``registry`` instead to
+    emit an already-populated :class:`MetricsRegistry`.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+        for name, value in (values or {}).items():
+            registry.gauge(name).set(value)
+    payload = {"bench": bench, "metrics": registry.snapshot()}
+    print(json.dumps(payload, sort_keys=True))
+    sys.stdout.flush()
+    return payload
 
 
 def run_once(benchmark, fn: Callable):

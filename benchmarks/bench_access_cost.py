@@ -22,11 +22,13 @@ from __future__ import annotations
 from repro.workload import ExperimentSpec, WorkloadSpec, sweep_protocols
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
 READ_FRACTIONS = [0.5, 0.7, 0.9, 0.99]
+SMOKE = {"read_fractions": [0.9], "duration": 60.0,
+         "protocols": ["virtual-partitions", "rowa"]}
 BACKGROUND = {"probe", "probe-ack", "newvp", "vp-accept", "commit",
               "vpread", "mw-note"}
 
@@ -36,18 +38,19 @@ def data_messages(result) -> int:
                if kind not in BACKGROUND)
 
 
-def run() -> dict:
+def run(read_fractions=READ_FRACTIONS, duration=300.0,
+        protocols=PROTOCOLS) -> dict:
     outcomes: dict = {}
     rows = []
-    for fraction in READ_FRACTIONS:
+    for fraction in read_fractions:
         spec = ExperimentSpec(
-            processors=5, objects=10, seed=21, duration=300.0,
+            processors=5, objects=10, seed=21, duration=duration,
             workload=WorkloadSpec(read_fraction=fraction, ops_per_txn=2,
                                   mean_interarrival=10.0),
         )
-        results = sweep_protocols(spec, PROTOCOLS)
+        results = sweep_protocols(spec, protocols)
         outcomes[fraction] = results
-        for name in PROTOCOLS:
+        for name in protocols:
             r = results[name]
             rows.append([
                 f"{fraction:.2f}", name, r.committed,
@@ -62,6 +65,16 @@ def run() -> dict:
         title="E3  Access cost by read fraction (5 processors, full "
               "replication, no failures)",
     ))
+    emit_metrics("access_cost", {
+        f"rf{fraction:.2f}.{name}.{metric}": value
+        for fraction, results in outcomes.items()
+        for name in protocols
+        for metric, value in (
+            ("committed", results[name].committed),
+            ("phys_per_read", results[name].reads_per_logical_read),
+            ("phys_per_op", results[name].accesses_per_operation),
+        )
+    })
     return outcomes
 
 

@@ -18,11 +18,13 @@ from repro.cluster import Cluster
 from repro.protocols import protocol_factory
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
 N = 5
+SMOKE = {"splits": (2,), "protocols": ["virtual-partitions", "rowa"],
+         "weighted": False}
 
 
 def availability(protocol_name: str, majority_block) -> dict:
@@ -53,12 +55,13 @@ def weighted_availability(protocol_name: str) -> dict:
     }
 
 
-def run() -> dict:
+def run(splits=(1, 2, 3, 4), protocols=PROTOCOLS,
+        weighted: bool = True) -> dict:
     rows = []
     outcomes: dict = {}
-    for k in (1, 2, 3, 4):
+    for k in splits:
         block = set(range(1, k + 1))
-        for name in PROTOCOLS:
+        for name in protocols:
             result = availability(name, block)
             outcomes[(k, name)] = result
             rows.append([f"{k}|{N - k}", name, result["read"],
@@ -69,17 +72,23 @@ def run() -> dict:
         title=f"E4  Fraction of processors able to access x after a "
               f"partition (n={N}, full replication)",
     ))
-    weighted = {name: weighted_availability(name)
-                for name in ("virtual-partitions", "quorum")}
-    wrows = [[name, w["side12_write"], w["side345_write"]]
-             for name, w in weighted.items()]
-    report(render_table(
-        ["protocol", "{1,2} can write", "{3,4,5} can write"],
-        wrows,
-        title="E4b Weighted copies (p1 holds weight 2 of 6): an even "
-              "3|3 weight split makes x unwritable everywhere",
-    ))
-    outcomes["weighted"] = weighted
+    if weighted:
+        weighted_results = {name: weighted_availability(name)
+                            for name in ("virtual-partitions", "quorum")}
+        wrows = [[name, w["side12_write"], w["side345_write"]]
+                 for name, w in weighted_results.items()]
+        report(render_table(
+            ["protocol", "{1,2} can write", "{3,4,5} can write"],
+            wrows,
+            title="E4b Weighted copies (p1 holds weight 2 of 6): an even "
+                  "3|3 weight split makes x unwritable everywhere",
+        ))
+        outcomes["weighted"] = weighted_results
+    emit_metrics("availability", {
+        f"split{k}.{name}.{mode}": outcomes[(k, name)][mode]
+        for k in splits for name in protocols
+        for mode in ("read", "write")
+    })
     return outcomes
 
 

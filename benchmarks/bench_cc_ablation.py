@@ -21,13 +21,15 @@ from repro.core.config import ProtocolConfig
 from repro.workload import ExperimentSpec, WorkloadSpec, run_experiment
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
+
+SMOKE = {"duration": 80.0, "contentions": ("low",)}
 
 
-def run_cc(cc: str, contention: str) -> dict:
+def run_cc(cc: str, contention: str, duration: float = 400.0) -> dict:
     objects = 3 if contention == "high" else 12
     spec = ExperimentSpec(
-        processors=5, objects=objects, seed=17, duration=400.0,
+        processors=5, objects=objects, seed=17, duration=duration,
         config=ProtocolConfig(delta=1.0, cc=cc),
         workload=WorkloadSpec(read_fraction=0.7, ops_per_txn=2,
                               mean_interarrival=6.0),
@@ -36,8 +38,8 @@ def run_cc(cc: str, contention: str) -> dict:
     )
 
     def partition_mid_run(cluster):
-        cluster.injector.partition_at(150.0, [{1, 2, 3}, {4, 5}])
-        cluster.injector.heal_all_at(260.0)
+        cluster.injector.partition_at(duration * 0.375, [{1, 2, 3}, {4, 5}])
+        cluster.injector.heal_all_at(duration * 0.65)
 
     spec = replace(spec, failures=partition_mid_run)
     result = run_experiment(spec)
@@ -51,12 +53,12 @@ def run_cc(cc: str, contention: str) -> dict:
     }
 
 
-def run() -> dict:
+def run(duration: float = 400.0, contentions=("low", "high")) -> dict:
     outcomes = {}
     rows = []
-    for contention in ("low", "high"):
+    for contention in contentions:
         for cc in ("2pl", "tso"):
-            outcome = run_cc(cc, contention)
+            outcome = run_cc(cc, contention, duration=duration)
             outcomes[(contention, cc)] = outcome
             rows.append([contention, cc, outcome["committed"],
                          outcome["aborted"],
@@ -69,6 +71,11 @@ def run() -> dict:
         title="E10 CC ablation under a mid-run partition/heal "
               "(virtual partitions protocol, 70% reads)",
     ))
+    emit_metrics("cc_ablation", {
+        f"{contention}.{cc}.{metric}": outcome[metric]
+        for (contention, cc), outcome in outcomes.items()
+        for metric in ("committed", "aborted")
+    })
     return outcomes
 
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 from repro.workload.scenarios import run_example1_naive, run_example1_vp
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
+
+SMOKE: dict = {}
 
 
 def run() -> dict:
@@ -33,6 +35,16 @@ def run() -> dict:
         title="E1  Example 1 (Fig. 1): two increments, A-B link cut, "
               "both reach C",
     ))
+    emit_metrics("example1", {
+        f"{label}.{metric}": value
+        for label, outcome in (("naive", naive), ("vp", vp))
+        for metric, value in (
+            ("committed", len(outcome.committed)),
+            ("aborted", len(outcome.aborted)),
+            ("one_copy_ok", int(bool(outcome.one_copy.ok))),
+            ("lost_update", int(outcome.lost_update)),
+        )
+    })
     return {"naive": naive, "vp": vp}
 
 

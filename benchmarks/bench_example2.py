@@ -13,7 +13,9 @@ from __future__ import annotations
 from repro.workload.scenarios import run_example2_naive, run_example2_vp
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
+
+SMOKE: dict = {}
 
 
 def run() -> dict:
@@ -34,6 +36,15 @@ def run() -> dict:
     ))
     if naive.one_copy.violation:
         report(f"naive violation witness: {naive.one_copy.violation}")
+    emit_metrics("example2", {
+        f"{label}.{metric}": value
+        for label, outcome in (("naive", naive), ("vp", vp))
+        for metric, value in (
+            ("committed", len(outcome.committed)),
+            ("aborted", len(outcome.aborted)),
+            ("one_copy_ok", int(bool(outcome.one_copy.ok))),
+        )
+    })
     return {"naive": naive, "vp": vp}
 
 

@@ -21,31 +21,34 @@ from repro.net.failures import RandomFailures
 from repro.workload import ExperimentSpec, WorkloadSpec, sweep_protocols
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
 DURATION = 800.0
+SMOKE = {"duration": 100.0, "protocols": ["virtual-partitions", "rowa"]}
 
 
-def rare_failures(cluster) -> None:
-    RandomFailures(
-        cluster.injector, cluster.streams.stream("random-failures"),
-        node_mttf=300.0, node_mttr=40.0, horizon=DURATION,
-    ).install()
+def rare_failures_until(horizon: float):
+    def rare_failures(cluster) -> None:
+        RandomFailures(
+            cluster.injector, cluster.streams.stream("random-failures"),
+            node_mttf=300.0, node_mttr=40.0, horizon=horizon,
+        ).install()
+    return rare_failures
 
 
-def run() -> dict:
+def run(duration: float = DURATION, protocols=PROTOCOLS) -> dict:
     spec = ExperimentSpec(
-        processors=5, objects=10, seed=33, duration=DURATION,
+        processors=5, objects=10, seed=33, duration=duration,
         workload=WorkloadSpec(read_fraction=0.9, ops_per_txn=2,
                               mean_interarrival=10.0),
-        failures=rare_failures,
+        failures=rare_failures_until(duration),
         retries=1,
     )
-    results = sweep_protocols(spec, PROTOCOLS)
+    results = sweep_protocols(spec, protocols)
     rows = []
-    for name in PROTOCOLS:
+    for name in protocols:
         r = results[name]
         rows.append([
             name, r.committed, r.aborted, f"{r.commit_rate:.2f}",
@@ -56,8 +59,18 @@ def run() -> dict:
          "phys/logical read", "phys/op (mix)"],
         rows,
         title=f"E9  Read-heavy (90%) workload with rare crash/repair "
-              f"(node MTTF 300, MTTR 40, duration {DURATION})",
+              f"(node MTTF 300, MTTR 40, duration {duration})",
     ))
+    emit_metrics("fault_throughput", {
+        f"{name}.{metric}": value
+        for name in protocols
+        for metric, value in (
+            ("committed", results[name].committed),
+            ("aborted", results[name].aborted),
+            ("phys_per_read", results[name].reads_per_logical_read),
+            ("phys_per_op", results[name].accesses_per_operation),
+        )
+    })
     return results
 
 

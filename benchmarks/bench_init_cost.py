@@ -29,7 +29,7 @@ from repro.core.config import (
 )
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 OBJECT_SIZE = 100
 WRITE_BURST = 5
@@ -90,12 +90,13 @@ CONFIGS = [
     ("previous + log catch-up", INIT_PREVIOUS, CATCHUP_LOG, False),
     ("previous + log + split-off", INIT_PREVIOUS, CATCHUP_LOG, True),
 ]
+SMOKE = {"configs": CONFIGS[:1], "split_off": False}
 
 
-def run() -> dict:
+def run(configs=CONFIGS, split_off: bool = True) -> dict:
     outcomes: dict = {}
     rows = []
-    for label, strategy, catchup, fastpath in CONFIGS:
+    for label, strategy, catchup, fastpath in configs:
         result = merge_cost(strategy, catchup, fastpath)
         outcomes[label] = result
         rows.append([label, result["vpreads"], result["transfer_units"]])
@@ -105,19 +106,25 @@ def run() -> dict:
         title=f"E6  Merge after {WRITE_BURST} writes on a size-"
               f"{OBJECT_SIZE} object (5 processors, 3|2 partition healed)",
     ))
-    split = {
-        "split-off fast path OFF": split_off_cost(False),
-        "split-off fast path ON": split_off_cost(True),
-    }
-    outcomes.update(split)
-    rows = [[label, r["vpreads"], r["transfer_units"]]
-            for label, r in split.items()]
-    report(render_table(
-        ["case", "recovery reads", "transfer units"],
-        rows,
-        title="E6b Split-off (p5 crashes; {1..4} re-forms with all "
-              "copies fresh)",
-    ))
+    if split_off:
+        split = {
+            "split-off fast path OFF": split_off_cost(False),
+            "split-off fast path ON": split_off_cost(True),
+        }
+        outcomes.update(split)
+        rows = [[label, r["vpreads"], r["transfer_units"]]
+                for label, r in split.items()]
+        report(render_table(
+            ["case", "recovery reads", "transfer units"],
+            rows,
+            title="E6b Split-off (p5 crashes; {1..4} re-forms with all "
+                  "copies fresh)",
+        ))
+    emit_metrics("init_cost", {
+        f"{label}.{metric}": outcome[metric]
+        for label, outcome in outcomes.items()
+        for metric in ("vpreads", "transfer_units")
+    })
     return outcomes
 
 

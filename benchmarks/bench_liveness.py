@@ -15,7 +15,10 @@ from repro.core.config import ProtocolConfig
 from repro.net.latency import FixedLatency, UniformLatency
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
+
+SMOKE = {"deltas": (1.0,), "pi_factors": (3,), "jitters": (False,),
+         "seeds": (1,)}
 
 
 def convergence_time(delta: float, pi: float, seed: int,
@@ -44,16 +47,18 @@ def convergence_time(delta: float, pi: float, seed: int,
     return last_join - heal_at
 
 
-def run() -> dict:
+def run(deltas=(0.5, 1.0, 2.0), pi_factors=(3, 10, 20),
+        jitters=(False, True), seeds=(1, 2, 3)) -> dict:
     rows = []
     outcomes: dict = {}
-    for delta in (0.5, 1.0, 2.0):
-        for pi in (3 * delta, 10 * delta, 20 * delta):
+    for delta in deltas:
+        for factor in pi_factors:
+            pi = factor * delta
             bound = pi + 8 * delta
-            for jittered in (False, True):
+            for jittered in jitters:
                 measured = max(
                     convergence_time(delta, pi, seed, jittered)
-                    for seed in (1, 2, 3)
+                    for seed in seeds
                 )
                 outcomes[(delta, pi, jittered)] = (measured, bound)
                 rows.append([
@@ -61,12 +66,18 @@ def run() -> dict:
                     measured, bound, measured <= bound,
                 ])
     report(render_table(
-        ["delta", "pi", "latency", "measured worst (3 seeds)",
+        ["delta", "pi", "latency", f"measured worst ({len(seeds)} seeds)",
          "bound pi+8*delta", "within"],
         rows,
         title="E5  View convergence after heal vs the liveness bound "
               "Delta = pi + 8*delta (5 processors, 2|3 partition healed)",
     ))
+    emit_metrics("liveness", {
+        f"d{delta}.pi{pi}.{'uniform' if jittered else 'fixed'}"
+        f".{metric}": value
+        for (delta, pi, jittered), (measured, bound) in outcomes.items()
+        for metric, value in (("measured", measured), ("bound", bound))
+    })
     return outcomes
 
 

@@ -20,7 +20,7 @@ from repro.cluster import Cluster
 from repro.core.config import ProtocolConfig
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 #: each client gets a private object triple, so lock contention between
 #: clients is zero and every abort is attributable to rule R4
@@ -29,9 +29,11 @@ OBJECTS = [f"{name}{pid}" for pid in CLIENTS for name in ("a", "b", "c")]
 THINK = 6.0          # time between a transaction's operations
 CHURN_PERIOD = 40.0  # p5 crashes / recovers this often
 DURATION = 600.0
+SMOKE = {"duration": 120.0}
 
 
-def churn_run(weakened: bool, seed: int = 3) -> dict:
+def churn_run(weakened: bool, seed: int = 3,
+              duration: float = DURATION) -> dict:
     config = ProtocolConfig(delta=1.0, weakened_r4=weakened)
     cluster = Cluster(processors=5, seed=seed, config=config)
     for obj in OBJECTS:
@@ -39,7 +41,7 @@ def churn_run(weakened: bool, seed: int = 3) -> dict:
         cluster.place(obj, holders=[1, 2, 3, 4], initial=0)
     cluster.start()
     t, down = 10.0, False
-    while t < DURATION:
+    while t < duration:
         if down:
             cluster.injector.recover_at(t, 5)
         else:
@@ -60,22 +62,22 @@ def churn_run(weakened: bool, seed: int = 3) -> dict:
     def client(pid):
         tm = cluster.tm(pid)
         body = slow_body_for(pid)
-        while cluster.sim.now < DURATION:
+        while cluster.sim.now < duration:
             yield cluster.sim.timeout(8.0)
             yield from tm.run(body, retries=0)
 
     for pid in CLIENTS:
         cluster.sim.process(client(pid), name=f"client@{pid}")
-    cluster.run(until=DURATION + 60.0)
+    cluster.run(until=duration + 60.0)
     committed = len(cluster.history.committed())
     aborted = len(cluster.history.aborted())
     ok = cluster.check_one_copy_serializable()
     return {"committed": committed, "aborted": aborted, "one_copy": ok}
 
 
-def run() -> dict:
-    strict = churn_run(weakened=False)
-    weakened = churn_run(weakened=True)
+def run(duration: float = DURATION) -> dict:
+    strict = churn_run(weakened=False, duration=duration)
+    weakened = churn_run(weakened=True, duration=duration)
     rows = [
         ["strict R4", strict["committed"], strict["aborted"],
          strict["one_copy"]],
@@ -89,6 +91,11 @@ def run() -> dict:
               f"churn every {CHURN_PERIOD / 2} (p5 crash/recover; objects "
               "on p1-p4 stay accessible)",
     ))
+    emit_metrics("r4_aborts", {
+        f"{label}.{metric}": outcome[metric]
+        for label, outcome in (("strict", strict), ("weakened", weakened))
+        for metric in ("committed", "aborted")
+    })
     return {"strict": strict, "weakened": weakened}
 
 

@@ -18,12 +18,13 @@ from repro.core.config import ProtocolConfig
 from repro.net.latency import DistanceLatency, ring_distances
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
 
 TRIALS = 8
+SMOKE = {"trials": 2}
 
 
-def run_flavor(read_retry: bool) -> dict:
+def run_flavor(read_retry: bool, trials: int = TRIALS) -> dict:
     # Slow probing (pi=60) models a long detection window; a tight
     # access timeout (6 delta; there is no lock contention here) makes
     # the no-response verdict arrive well before the view catches up —
@@ -40,7 +41,7 @@ def run_flavor(read_retry: bool) -> dict:
     first_attempt_ok = 0
     eventually_ok = 0
     total_read_time = 0.0
-    for trial in range(TRIALS):
+    for trial in range(trials):
         # p2 is p1's nearest holder of x; crash it right before a read,
         # inside the detection window (the view still lists it).
         crash_at = cluster.sim.now + 10.0
@@ -71,12 +72,13 @@ def run_flavor(read_retry: bool) -> dict:
     return {
         "first_attempt_ok": first_attempt_ok,
         "eventually_ok": eventually_ok,
-        "mean_read_completion": total_read_time / TRIALS,
+        "mean_read_completion": total_read_time / trials,
     }
 
 
-def run() -> dict:
-    outcomes = {flag: run_flavor(flag) for flag in (False, True)}
+def run(trials: int = TRIALS) -> dict:
+    outcomes = {flag: run_flavor(flag, trials=trials)
+                for flag in (False, True)}
     rows = [
         ["abort (retry off)", outcomes[False]["first_attempt_ok"],
          outcomes[False]["eventually_ok"],
@@ -86,12 +88,18 @@ def run() -> dict:
          outcomes[True]["mean_read_completion"]],
     ]
     report(render_table(
-        ["policy", f"1st-attempt ok (of {TRIALS})",
-         f"eventually ok (of {TRIALS})", "mean read completion time"],
+        ["policy", f"1st-attempt ok (of {trials})",
+         f"eventually ok (of {trials})", "mean read completion time"],
         rows,
         title="E11 Reads racing a crash of the nearest copy holder "
               "(view not yet updated)",
     ))
+    emit_metrics("read_retry", {
+        f"{'retry' if flag else 'abort'}.{metric}": outcome[metric]
+        for flag, outcome in outcomes.items()
+        for metric in ("first_attempt_ok", "eventually_ok",
+                       "mean_read_completion")
+    })
     return outcomes
 
 

@@ -21,7 +21,9 @@ from repro.cluster import Cluster
 from repro.core.config import ProtocolConfig
 from repro.workload.tables import render_table
 
-from _shared import report, run_once
+from _shared import emit_metrics, report, run_once
+
+SMOKE = {"pis": (16.0,)}
 
 
 def staleness_window(pi: float, seed: int = 2) -> dict:
@@ -90,10 +92,10 @@ def staleness_window(pi: float, seed: int = 2) -> dict:
             "bound": config.liveness_bound}
 
 
-def run() -> list:
+def run(pis=(16.0, 32.0, 48.0, 64.0)) -> list:
     rows = []
     outcomes = []
-    for pi in (16.0, 32.0, 48.0, 64.0):
+    for pi in pis:
         result = staleness_window(pi)
         outcomes.append(result)
         rows.append([pi, result["stale_reads"], result["window"],
@@ -105,6 +107,11 @@ def run() -> list:
         title="E8  How long the lagging minority (p4) keeps serving the "
               "old value after the majority commits a new one",
     ))
+    emit_metrics("staleness", {
+        f"pi{result['pi']}.{metric}": result[metric]
+        for result in outcomes
+        for metric in ("stale_reads", "window", "bound")
+    })
     return outcomes
 
 

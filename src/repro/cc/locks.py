@@ -63,6 +63,16 @@ class LockManager:
         #: grants ever made, for metrics
         self.grants = 0
         self.waits = 0
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
+        #: pid stamped on trace events (set by the owning protocol)
+        self.trace_pid: Optional[int] = None
+
+    def _emit(self, etype: str, obj: str, txn: Any, mode: str) -> None:
+        # Call sites guard on ``self.tracer is not None`` themselves so the
+        # disabled path costs one attribute test, not a method call.
+        self.tracer.emit(etype, pid=self.trace_pid, obj=obj,
+                         txn=str(txn), mode=mode)
 
     # -- acquisition ------------------------------------------------------------
 
@@ -87,20 +97,28 @@ class LockManager:
             if len(state.holders) == 1 and not state.queue:
                 state.holders[txn] = EXCLUSIVE
                 self.grants += 1
+                if self.tracer is not None:
+                    self._emit("lock.grant", obj, txn, EXCLUSIVE)
                 request.succeed(True)
                 return request
             # Upgrade must wait at the front (it beats new requests but
             # cannot bypass already-queued ones without risking starvation).
             state.queue.insert(0, request)
             self.waits += 1
+            if self.tracer is not None:
+                self._emit("lock.wait", obj, txn, mode)
             return request
         if not state.queue and self._compatible(state, mode):
             state.holders[txn] = mode
             self.grants += 1
+            if self.tracer is not None:
+                self._emit("lock.grant", obj, txn, mode)
             request.succeed(True)
             return request
         state.queue.append(request)
         self.waits += 1
+        if self.tracer is not None:
+            self._emit("lock.wait", obj, txn, mode)
         return request
 
     # -- release ------------------------------------------------------------
@@ -110,8 +128,10 @@ class LockManager:
         freed = []
         for obj, state in list(self._table.items()):
             if txn in state.holders:
-                del state.holders[txn]
+                mode = state.holders.pop(txn)
                 freed.append(obj)
+                if self.tracer is not None:
+                    self._emit("lock.release", obj, txn, mode)
             state.queue = [r for r in state.queue if r.txn != txn]
             self._promote(obj, state)
             if not state.holders and not state.queue:
@@ -163,6 +183,8 @@ class LockManager:
                     state.holders[request.txn] = EXCLUSIVE
                     state.queue.pop(0)
                     self.grants += 1
+                    if self.tracer is not None:
+                        self._emit("lock.grant", obj, request.txn, EXCLUSIVE)
                     request.succeed(True)
                     continue
                 break
@@ -170,6 +192,8 @@ class LockManager:
                 state.holders[request.txn] = request.mode
                 state.queue.pop(0)
                 self.grants += 1
+                if self.tracer is not None:
+                    self._emit("lock.grant", obj, request.txn, request.mode)
                 request.succeed(True)
                 continue
             break
@@ -182,6 +206,8 @@ class LockManager:
             state.queue.remove(request)
         except ValueError:
             return
+        if self.tracer is not None:
+            self._emit("lock.drop", request.obj, request.txn, request.mode)
         self._promote(request.obj, state)
         if not state.holders and not state.queue:
             del self._table[request.obj]

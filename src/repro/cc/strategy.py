@@ -15,7 +15,7 @@ is told the transaction's fate so it can release its admission state.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Set, Tuple
+from typing import Any, Set
 
 #: admission results
 GRANTED = "granted"

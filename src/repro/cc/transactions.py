@@ -89,10 +89,21 @@ class Transaction:
         except TransactionAborted as exc:
             yield from self._abort(exc.reason)
             raise
-        yield from self._manager.protocol.end_transaction(self.ctx, "commit")
+        try:
+            yield from self._manager.protocol.end_transaction(
+                self.ctx, "commit")
+        except TransactionAborted as exc:
+            # The decision was ceded to abort while votes were in
+            # flight (an in-doubt participant queried the decision
+            # log); the prepare round succeeded but the commit cannot.
+            yield from self._abort(exc.reason)
+            raise
         self.finished = True
         self._manager.stats.committed += 1
         self._manager.history.commit_txn(self.txn_id, self._now())
+        if self._manager.tracer is not None:
+            self._manager.tracer.emit("txn.commit", pid=self._manager.pid,
+                                      txn=str(self.txn_id))
 
     def abort(self, reason: str = "user abort"):
         """Voluntary abort."""
@@ -106,6 +117,9 @@ class Transaction:
         self.finished = True
         self._manager.stats.record_abort(reason)
         self._manager.history.abort_txn(self.txn_id, self._now(), reason)
+        if self._manager.tracer is not None:
+            self._manager.tracer.emit("txn.abort", pid=self._manager.pid,
+                                      txn=str(self.txn_id), reason=reason)
 
     def _check_open(self) -> None:
         if self.finished:
@@ -128,6 +142,8 @@ class TransactionManager:
         self.pid = protocol.processor.pid
         self.stats = TxnStats()
         self._seq = count(1)
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
 
     def begin(self) -> Transaction:
         """Start a new transaction rooted at this processor."""
@@ -139,6 +155,8 @@ class TransactionManager:
         self.stats.begun += 1
         self.history.begin_txn(txn_id, self.pid,
                                self.protocol.processor.sim.now)
+        if self.tracer is not None:
+            self.tracer.emit("txn.begin", pid=self.pid, txn=str(txn_id))
         return Transaction(self, ctx)
 
     def run(self, body: Callable[[Transaction], Any], retries: int = 0,

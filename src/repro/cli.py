@@ -10,6 +10,10 @@ Examples::
         --read-fraction 0.9
 
     python -m repro scenario example1 --flavor both
+
+    python -m repro trace example2 --out trace.jsonl --analyze
+
+    python -m repro metrics --protocol virtual-partitions --duration 200
 """
 
 from __future__ import annotations
@@ -136,6 +140,34 @@ def cmd_scenario(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs.analyze import TraceAnalyzer
+    from .obs.export import write_jsonl
+    from .workload import scenarios
+
+    runners = {
+        ("example1", "naive"): scenarios.run_example1_naive,
+        ("example1", "vp"): scenarios.run_example1_vp,
+        ("example2", "naive"): scenarios.run_example2_naive,
+        ("example2", "vp"): scenarios.run_example2_vp,
+    }
+    outcome = runners[(args.name, args.flavor)](seed=args.seed, trace=True)
+    events = outcome.cluster.tracer.events
+    count = write_jsonl(events, args.out)
+    print(f"wrote {count} events to {args.out}")
+    if args.analyze:
+        print(TraceAnalyzer(events).render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    result = run_experiment(_spec_from(args, args.protocol))
+    print(json.dumps(result.registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -187,6 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
                       default="both")
     sc_p.add_argument("--seed", type=int, default=0)
     sc_p.set_defaults(func=cmd_scenario)
+
+    tr_p = sub.add_parser(
+        "trace", help="run a paper scenario with structured tracing"
+    )
+    tr_p.add_argument("name", choices=["example1", "example2"])
+    tr_p.add_argument("--flavor", choices=["naive", "vp"], default="vp")
+    tr_p.add_argument("--seed", type=int, default=0)
+    tr_p.add_argument("--out", default="trace.jsonl",
+                      help="JSONL output path (default: trace.jsonl)")
+    tr_p.add_argument("--analyze", action="store_true",
+                      help="print the trace analysis report afterwards")
+    tr_p.set_defaults(func=cmd_trace)
+
+    mt_p = sub.add_parser(
+        "metrics", help="run one experiment, print metrics as JSON"
+    )
+    mt_p.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                      default="virtual-partitions")
+    common(mt_p)
+    mt_p.set_defaults(func=cmd_metrics)
     return parser
 
 

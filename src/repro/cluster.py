@@ -48,7 +48,8 @@ class Cluster:
                  config: Optional[ProtocolConfig] = None,
                  protocol: Optional[ProtocolFactory] = None,
                  loss_prob: float = 0.0, slow_prob: float = 0.0,
-                 slow_factor: float = 5.0):
+                 slow_factor: float = 5.0,
+                 trace: "bool | Any" = False):
         if isinstance(processors, int):
             pids = list(range(1, processors + 1))
         else:
@@ -88,7 +89,26 @@ class Cluster:
             for pid in pids
         }
         self.injector = FailureInjector(self.sim, self.graph, self.processors)
+        #: structured trace sink; None unless ``trace`` was requested
+        self.tracer = None
+        if trace:
+            from .obs.trace import Tracer
+            tracer = trace if isinstance(trace, Tracer) else Tracer(self.sim)
+            self._wire_tracer(tracer)
         self._started = False
+
+    def _wire_tracer(self, tracer) -> None:
+        """Install ``tracer`` on every instrumented layer of the cluster."""
+        self.tracer = tracer
+        self.network.tracer = tracer
+        self.injector.tracer = tracer
+        for proto in self.protocols.values():
+            if hasattr(proto, "set_tracer"):
+                proto.set_tracer(tracer)
+            else:
+                proto.tracer = tracer
+        for tm in self.tms.values():
+            tm.tracer = tracer
 
     # -- setup -----------------------------------------------------------------
 
@@ -164,6 +184,14 @@ class Cluster:
 
     def processor(self, pid: int) -> Processor:
         return self.processors[pid]
+
+    def write_trace(self, path) -> int:
+        """Dump the collected trace as canonical JSONL; returns the
+        number of events written.  Requires ``trace=True``."""
+        if self.tracer is None:
+            raise RuntimeError("cluster was built without trace=True")
+        from .obs.export import write_jsonl
+        return write_jsonl(self.tracer.events, path)
 
     def total_metrics(self):
         """Protocol counters summed over all processors."""

@@ -15,7 +15,7 @@ The mixin expects the protocol façade to provide: ``processor``,
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 from ..node.processor import NoResponse
 from .errors import AccessAborted, TransactionAborted
@@ -169,6 +169,10 @@ class AccessMixin:
         """
         if ctx.poisoned:
             raise TransactionAborted(ctx.txn_id, ctx.poisoned)
+        # Open the decision-log entry before any participant can vote
+        # yes: an in-doubt participant querying us must find at least
+        # "undecided", never a missing entry (which means presumed abort).
+        self._decisions.setdefault(ctx.txn_id, "undecided")
         state = self.state
         if not state.assigned or state.cur_id not in ctx.vpids:
             if ctx.vpids and not self._weakened_ok_locally(ctx):
@@ -222,6 +226,18 @@ class AccessMixin:
         """
         if outcome not in ("commit", "abort"):
             raise ValueError(f"unknown outcome {outcome!r}")
+        if outcome == "commit" and self._decisions.get(ctx.txn_id) == "abort":
+            # While we were collecting votes, an in-doubt participant
+            # asked for the outcome and we ceded the abort (see
+            # _handle_txn_status).  That answer is final — it may
+            # already have been applied — so this transaction can no
+            # longer commit.
+            raise TransactionAborted(ctx.txn_id,
+                                     "aborted while in doubt (R4)")
+        # Log the decision before the first decide message leaves: a
+        # participant may lose the decide to a partition cut and query
+        # the log later (see _resolve_in_doubt).
+        self._decisions[ctx.txn_id] = outcome
         for server in sorted(ctx.participants):
             if server == self.pid:
                 self._apply_decision(ctx.txn_id, outcome)
@@ -246,12 +262,14 @@ class AccessMixin:
         write_box = self.processor.mailbox("write")
         prepare_box = self.processor.mailbox("prepare")
         release_box = self.processor.mailbox("release")
+        status_box = self.processor.mailbox("txn-status")
         while True:
             gets = {
                 "read": read_box.get(),
                 "write": write_box.get(),
                 "prepare": prepare_box.get(),
                 "release": release_box.get(),
+                "txn-status": status_box.get(),
             }
             fired = yield self.sim.any_of(list(gets.values()))
             for kind, get in gets.items():
@@ -265,6 +283,8 @@ class AccessMixin:
                                              self._handle_write(message))
                     elif kind == "prepare":
                         self._handle_prepare(message)
+                    elif kind == "txn-status":
+                        self._handle_txn_status(message)
                     else:
                         self._handle_release(message)
 
@@ -360,6 +380,19 @@ class AccessMixin:
     def _handle_prepare(self, message):
         verdict = self._vote(message.payload["txn"], message.payload)
         if verdict is None:
+            # A yes vote makes this transaction in-doubt here: we may
+            # no longer abort it unilaterally until we learn the
+            # coordinator's decision (classic 2PC uncertainty window).
+            # Arm a decide watchdog (a bare timer, not a process): if
+            # no decide arrived when it fires — lost to the network, a
+            # cut, or a coordinator crash — start querying for the
+            # outcome.  Normally the decide lands one round later and
+            # the callback finds nothing to do.
+            txn = message.payload["txn"]
+            self._in_doubt[txn] = message.src
+            self.sim.timeout(self.config.access_timeout).add_callback(
+                lambda _event, txn=txn: self._maybe_start_resolver(txn)
+            )
             self.processor.reply(message, "prepare-reply", {"ok": True})
         else:
             self.processor.reply(message, "prepare-reply",
@@ -397,6 +430,7 @@ class AccessMixin:
                 self.processor.store.install(obj, value, date, version)
         else:
             self._before_images.pop(txn, None)
+        self._in_doubt.pop(txn, None)
         self._poisoned_txns.discard(txn)
         self.cc.finish(txn, outcome)
 
@@ -412,17 +446,123 @@ class AccessMixin:
         coordinators learn about it at prepare time.  In weakened mode
         locks survive — condition (3) is honoured by recovery reads
         taking shared locks.
+
+        Exception: a transaction we voted yes for in the prepare round
+        is *in-doubt* — the coordinator may have committed it and the
+        decide message may simply be lost, so rolling it back here
+        could erase a committed write that a later majority (without
+        any up-to-date copy) would then never see.  In-doubt
+        transactions keep their locks and writes; a resolver task
+        queries the coordinator's decision log until it learns the
+        outcome.  Recovery cannot ship their values meanwhile: the
+        vpread gate refuses write-locked copies.
         """
         if self.config.weakened_r4:
+            # Weakened mode lets transactions ride through view
+            # changes; lost decides are still caught by the per-vote
+            # watchdog, which fires only after the coordinator must
+            # have decided — so no commit-bound transaction is ceded.
             return
+        # Strict mode: resolve in-doubt transactions right away.  An
+        # undecided coordinator cedes the abort (_handle_txn_status),
+        # which is the classic strict-R4 force-abort made atomic.
+        for txn in sorted(self._in_doubt, key=repr):
+            self._maybe_start_resolver(txn)
         for txn in sorted(self.cc.active_txns(), key=repr):
+            if txn in self._in_doubt:
+                continue
             self._poisoned_txns.add(txn)
             self._apply_decision(txn, "abort")
             self._poisoned_txns.add(txn)
 
+    def _maybe_start_resolver(self, txn) -> None:
+        """Start the in-doubt resolver for ``txn`` unless it is moot.
+
+        Callable from anywhere (watchdog timer, partition change,
+        recovery); idempotent via ``_resolving``.  A crashed processor
+        must not grow tasks — its ``_on_recover`` restarts resolvers
+        for whatever is still in doubt.
+        """
+        if not self.processor.alive:
+            return
+        if txn in self._in_doubt and txn not in self._resolving:
+            self._resolving.add(txn)
+            if self.tracer is not None:
+                self.tracer.emit("txn.indoubt", pid=self.pid, txn=str(txn),
+                                 coordinator=self._in_doubt[txn])
+            self.processor.spawn(f"resolve{txn}",
+                                 self._resolve_in_doubt(txn))
+
+    def _resolve_in_doubt(self, txn):
+        """Learn an in-doubt transaction's outcome from its coordinator.
+
+        Retries through partitions and crashes: the coordinator logs
+        its decision before sending any decide, so the answer is
+        "commit"/"abort" once decided and "undecided" at most briefly.
+        A normally-delivered decide resolves the transaction while we
+        retry; the loop notices and stops.
+        """
+        coordinator = self._in_doubt[txn]
+        retry = self.config.access_timeout
+        try:
+            while txn in self._in_doubt:
+                try:
+                    response = yield from self.processor.rpc(
+                        coordinator, "txn-status", {"txn": txn},
+                        timeout=retry,
+                    )
+                except NoResponse:
+                    yield self.sim.timeout(retry)
+                    continue
+                outcome = response.payload["outcome"]
+                if outcome == "undecided":
+                    yield self.sim.timeout(retry)
+                    continue
+                if txn in self._in_doubt:
+                    if self.tracer is not None:
+                        self.tracer.emit("txn.resolve", pid=self.pid,
+                                         txn=str(txn), outcome=outcome)
+                    self._apply_decision(txn, outcome)
+                break
+        finally:
+            self._resolving.discard(txn)
+
+    def _handle_txn_status(self, message) -> None:
+        # Presumed abort: a transaction with no decision-log entry never
+        # entered its prepare round here, so no decide can have been
+        # sent — answering "abort" is always safe.
+        txn = message.payload["txn"]
+        outcome = self._decisions.get(txn, "abort")
+        if outcome == "undecided":
+            # The asker is an in-doubt participant whose recovery is
+            # blocked on this transaction.  No decide has left yet, so
+            # aborting is still our unilateral right — cede it rather
+            # than keep a whole partition's Update-Copies waiting on
+            # our vote collection (the strict-R4 trade, routed safely
+            # through the decision log; end_transaction honours it).
+            outcome = "abort"
+            self._decisions[txn] = "abort"
+        self.processor.reply(message, "txn-status-reply",
+                             {"outcome": outcome})
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+
+    def _has_in_doubt_write(self, obj: str) -> bool:
+        """Does the local copy of ``obj`` carry a prepared, undecided write?
+
+        While it does, the copy's date must not be treated as
+        authoritative: the write may yet be undone (abort) or may be the
+        only surviving committed value (commit).  Recovery consults this
+        because CC locks are volatile — after a crash the lock table is
+        empty but the in-doubt write (force-written with its prepare
+        record) is still on the copy.
+        """
+        return any(
+            obj in self._before_images.get(txn, {})
+            for txn in self._in_doubt
+        )
 
     def _weakened_ok_locally(self, ctx) -> bool:
         """Coordinator-side weakened-R4 screen (participants re-check)."""

@@ -29,9 +29,13 @@ for writing.
 
 from __future__ import annotations
 
-from itertools import count
 
 from ..node.processor import NoResponse
+
+#: sentinel returned by ``_read_sources`` when a source copy is
+#: temporarily unusable (in-doubt 2PC write) but the view itself is
+#: fine — the caller should re-read later, not force a new partition.
+RETRY_LATER = object()
 
 
 class UpdateMixin:
@@ -50,18 +54,24 @@ class UpdateMixin:
         objects = sorted(state.locked)
         if not objects:
             return
+        if self.tracer is not None:
+            self.tracer.emit("recover.start", pid=self.pid, vpid=old_id,
+                             objects=len(objects))
         split_off_objects = (
             self._split_off_fresh_objects() if self.config.split_off_fastpath
             else frozenset()
         )
         workers = []
         for obj in objects:
-            if obj in split_off_objects:
+            if obj in split_off_objects and not self._has_in_doubt_write(obj):
                 # §6: pure split-off — the copy is known fresh already.
                 state.unlock_object(obj)
                 self.metrics.recoveries += 1
                 self.history.record_recovery(time=self.sim.now, pid=self.pid,
                                              obj=obj, vpid=old_id)
+                if self.tracer is not None:
+                    self.tracer.emit("recover.fresh", pid=self.pid, obj=obj,
+                                     vpid=old_id)
                 continue
             workers.append(self.processor.spawn(
                 f"update({obj})", self._update_one_object(obj, old_id)
@@ -97,6 +107,16 @@ class UpdateMixin:
         """Fig. 9 inner loop for one object, honouring the strategy."""
         state = self.state
         store = self.processor.store
+        while self._has_in_doubt_write(obj):
+            # A prepared-but-undecided write sits on the local copy: its
+            # date must not be taken as authoritative (the §6 fast path
+            # would serve it with no reads at all) until the resolver
+            # task learns the 2PC outcome.  Park; the object stays
+            # locked, which is exactly what R5 requires of a copy whose
+            # freshness is unknown.
+            yield self.sim.timeout(self.config.delta)
+            if not (state.assigned and state.cur_id == old_id):
+                return
         local_value, local_date = store.peek(obj)
         best = (local_date, local_value, store.version(obj))
         units = 0
@@ -104,7 +124,17 @@ class UpdateMixin:
 
         sources = self._recovery_sources(obj)
         if sources:
-            results = yield from self._read_sources(obj, sources)
+            while True:
+                results = yield from self._read_sources(obj, sources)
+                if results is not RETRY_LATER:
+                    break
+                # A source answered "in-doubt": its copy carries a
+                # prepared write whose 2PC outcome is pending.  The
+                # view is fine — re-read once the source has resolved
+                # it, instead of spawning a new partition generation.
+                yield self.sim.timeout(self.config.commit_wait)
+                if not (state.assigned and state.cur_id == old_id):
+                    return
             if results is None:
                 # Fig. 9 line 12's [no-response]: the view is wrong;
                 # leave the object locked — the next partition's update
@@ -130,6 +160,9 @@ class UpdateMixin:
         self.metrics.recoveries += 1
         self.history.record_recovery(time=self.sim.now, pid=self.pid,
                                      obj=obj, vpid=old_id)
+        if self.tracer is not None:
+            self.tracer.emit("recover.object", pid=self.pid, obj=obj,
+                             units=units, vpid=old_id)
         state.unlock_object(obj)
 
     def _recovery_sources(self, obj: str) -> list[int]:
@@ -184,15 +217,21 @@ class UpdateMixin:
         ]
         fired = yield self.sim.all_of(readers)
         payloads = []
+        retry = False
         for reader in readers:
             payload = fired[reader]
             if payload is None:
                 return None
             if not payload["ok"]:
+                if payload["reason"] == "in-doubt":
+                    retry = True
+                    continue
                 # The source is in another partition or its copy is
                 # write-locked; treat like silence — R5 must not read it.
                 return None
             payloads.append(payload)
+        if retry:
+            return RETRY_LATER
         return payloads
 
     # ------------------------------------------------------------------
@@ -236,6 +275,18 @@ class UpdateMixin:
         if not granted:
             self.processor.reply(message, "vpread-reply",
                                  {"ok": False, "reason": "write-locked"})
+            return
+        # The gate covers the 2PC uncertainty window in normal
+        # operation: an in-doubt writer still holds its copy lock, and
+        # the decide is applied before the lock is released.  But CC
+        # locks are volatile — after a crash the lock table is empty
+        # while the (force-written) in-doubt write is still on the
+        # copy.  That residue must never be shipped; tell the requester
+        # to retry us once the resolver has learned the outcome, rather
+        # than let it declare the view wrong.
+        if self._has_in_doubt_write(obj):
+            self.processor.reply(message, "vpread-reply",
+                                 {"ok": False, "reason": "in-doubt"})
             return
         store = self.processor.store
         value, date = store.peek(obj)

@@ -54,15 +54,46 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         self.state = ReplicaState(self.pid, self.sim, history)
         self.cc = make_cc(config, self.sim, label=f"p{self.pid}.cc")
         self.metrics = ProtocolMetrics()
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
         self._create_vp_process = None
         self._update_process = None
         self._before_images: dict = {}
         self._poisoned_txns: set = set()
+        #: coordinator-side decision log: txn -> undecided|commit|abort.
+        #: Written before any decide message leaves, so in-doubt
+        #: participants can query it (presumed abort when absent).
+        self._decisions: dict = {}
+        #: participant-side: txns we voted yes for -> coordinator pid.
+        self._in_doubt: dict = {}
+        self._resolving: set = set()
         self._recovery_seq = count(1)
 
     def distance(self, pid: int) -> float:
         """Expected delay to ``pid``; rule R2 reads the minimum."""
         return self._latency.distance(self.pid, pid)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or remove, with ``None``) a trace-event sink.
+
+        Wires every layer this protocol owns: its own emissions, the
+        shared state's join/depart events, and the CC strategy's lock
+        table.  The CC strategy is recreated on crash, so the wiring is
+        reapplied there too.
+        """
+        self.tracer = tracer
+        self.state.tracer = tracer
+        self._wire_cc_tracer()
+
+    def _wire_cc_tracer(self) -> None:
+        locks = getattr(self.cc, "locks", None)
+        if locks is not None:
+            locks.tracer = self.tracer
+            locks.trace_pid = self.pid
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -83,20 +114,44 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         """Volatile state vanishes; dirty uncommitted writes are undone.
 
         Undoing at crash time models the recovery-time undo pass a WAL
-        would perform before the node serves anything again.
+        would perform before the node serves anything again.  In-doubt
+        transactions (we voted yes in their prepare round) are exempt:
+        their prepare record and before-images are force-written, so
+        the undo/redo choice is deferred until the coordinator's
+        decision is learned — rolling them back here could erase a
+        committed write.
         """
         for txn in sorted(self._before_images, key=repr):
+            if txn in self._in_doubt:
+                continue
             images = self._before_images[txn]
             for obj, (value, date, version) in images.items():
                 self.processor.store.install(obj, value, date, version)
-        self._before_images.clear()
+        self._before_images = {
+            txn: images for txn, images in self._before_images.items()
+            if txn in self._in_doubt
+        }
         self._poisoned_txns.clear()
+        self._resolving.clear()
+        # The decision log survives the crash (real coordinators force-
+        # write it); entries still undecided can never have sent a
+        # decide, so crashing finalizes them as the presumed abort.
+        for txn, outcome in list(self._decisions.items()):
+            if outcome == "undecided":
+                self._decisions[txn] = "abort"
         self.cc = make_cc(self.config, self.sim, label=f"p{self.pid}.cc")
+        self._wire_cc_tracer()
         self.state.reset_volatile()
+        if self.tracer is not None:
+            self.tracer.emit("proc.crash", pid=self.pid)
 
     def _on_recover(self) -> None:
         """Come back alone; probing will merge us with the reachable."""
         self.state.reboot()
+        for txn in sorted(self._in_doubt, key=repr):
+            self._maybe_start_resolver(txn)
+        if self.tracer is not None:
+            self.tracer.emit("proc.recover", pid=self.pid)
 
     # ------------------------------------------------------------------
     # introspection helpers used by tests and the harness

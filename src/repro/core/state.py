@@ -19,7 +19,7 @@ bracketed region yield-free.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..node.storage import DurableCell
 from ..sim import Notifier, Simulator
@@ -33,6 +33,8 @@ class ReplicaState:
         self.pid = pid
         self.sim = sim
         self.history = history
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
         boot_id = initial_vp_id(pid)
         self.cur_id: VpId = boot_id
         self._max_id = DurableCell(boot_id)     # durable across crashes
@@ -85,6 +87,8 @@ class ReplicaState:
         if self.history is not None:
             self.history.record_depart(time=self.sim.now, pid=self.pid,
                                        vpid=self.cur_id)
+        if self.tracer is not None:
+            self.tracer.emit("vp.depart", pid=self.pid, vpid=self.cur_id)
 
     def join(self, vpid: VpId, view: Set[int],
              previous_map: Optional[Dict[int, tuple]] = None) -> None:
@@ -102,6 +106,9 @@ class ReplicaState:
         if self.history is not None:
             self.history.record_join(time=self.sim.now, pid=self.pid,
                                      vpid=vpid, view=view)
+        if self.tracer is not None:
+            self.tracer.emit("vp.join", pid=self.pid, vpid=vpid,
+                             view=sorted(view))
 
     # -- the locked set (R5 gating) ---------------------------------------------
 

@@ -52,6 +52,9 @@ class CreationMixin:
         state = self.state
         self.metrics.vp_created += 1
         others = sorted(p for p in self.all_pids if p != self.pid)
+        if self.tracer is not None:
+            self.tracer.emit("vp.invite", pid=self.pid, vpid=new_id,
+                             invited=others)
         for pid in others:
             self.processor.send(pid, "newvp", {"id": new_id})
         accepted = {self.pid}
@@ -72,11 +75,20 @@ class CreationMixin:
                         message.payload["previous"],
                         frozenset(message.payload["prev_accessible"]),
                     )
+                    if self.tracer is not None:
+                        self.tracer.emit("vp.accept-recv", pid=self.pid,
+                                         vpid=new_id, acceptor=acceptor)
             else:
                 break
         # Fig. 5 line 14: commit only if no higher id arrived meanwhile.
         if new_id != state.max_id:
+            if self.tracer is not None:
+                self.tracer.emit("vp.abandon", pid=self.pid, vpid=new_id,
+                                 superseded_by=state.max_id)
             return
+        if self.tracer is not None:
+            self.tracer.emit("vp.commit", pid=self.pid, vpid=new_id,
+                             view=sorted(accepted))
         self._commit_partition(new_id, accepted, previous_map)
         for pid in others:
             self.processor.send(pid, "commit", {

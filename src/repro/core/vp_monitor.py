@@ -34,6 +34,10 @@ class MonitorMixin:
                     info = self._previous_info()
                     state.max_id = invited_id
                     state.depart()
+                    if self.tracer is not None:
+                        self.tracer.emit("vp.accept", pid=self.pid,
+                                         vpid=invited_id,
+                                         initiator=invited_id.pid)
                     self.processor.send(invited_id.pid, "vp-accept", {
                         "id": invited_id,
                         "from": self.pid,
@@ -58,5 +62,8 @@ class MonitorMixin:
             else:
                 # Fig. 6 lines 22-24: no commit arrived in time; claim
                 # the next identifier and try to form a partition.
+                if self.tracer is not None:
+                    self.tracer.emit("vp.commit-timeout", pid=self.pid,
+                                     vpid=state.max_id)
                 state.max_id = state.max_id.successor(self.pid)
                 self.schedule_create_vp(state.max_id)

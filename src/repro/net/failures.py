@@ -28,6 +28,8 @@ class FailureInjector:
         self._processors: Mapping[int, Any] = processors or {}
         #: chronological record of applied failures, for reports
         self.log: list[tuple[float, str]] = []
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
 
     def set_processors(self, processors: Mapping[int, Any]) -> None:
         """Late-bind the pid → processor map (crash/recover targets)."""
@@ -36,16 +38,27 @@ class FailureInjector:
     # -- scheduling ------------------------------------------------------------
 
     def at(self, time: float, action: Action, label: str = "") -> None:
-        """Run ``action`` at absolute simulated ``time``."""
+        """Run ``action`` at absolute simulated ``time``.
+
+        ``time == sim.now`` is valid and schedules the action at the
+        current instant (it fires on the next kernel step, after the
+        currently running event completes); only strictly-past times
+        are rejected.
+        """
         delay = time - self.sim.now
         if delay < 0:
             raise ValueError(f"time {time} is in the past (now={self.sim.now})")
 
         def fire(_event, act=action, lab=label):
-            self.log.append((self.sim.now, lab or getattr(act, "__name__", "?")))
+            self._record(lab or getattr(act, "__name__", "?"))
             act()
 
         self.sim.timeout(delay, name=f"failure@{time}").add_callback(fire)
+
+    def _record(self, label: str) -> None:
+        self.log.append((self.sim.now, label))
+        if self.tracer is not None:
+            self.tracer.emit("fail.inject", label=label)
 
     # -- convenience actions --------------------------------------------------
 
@@ -142,10 +155,10 @@ class RandomFailures:
             yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttf))
             if sim.now >= self.horizon:
                 return
-            self.injector.log.append((sim.now, f"random-crash({pid})"))
+            self.injector._record(f"random-crash({pid})")
             self.injector._crash(pid)
             yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttr))
-            self.injector.log.append((sim.now, f"random-recover({pid})"))
+            self.injector._record(f"random-recover({pid})")
             self.injector._recover(pid)
 
     def _link_lifecycle(self, a: int, b: int):
@@ -155,8 +168,8 @@ class RandomFailures:
             yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttf))
             if sim.now >= self.horizon:
                 return
-            self.injector.log.append((sim.now, f"random-cut({a},{b})"))
+            self.injector._record(f"random-cut({a},{b})")
             graph.cut_link(a, b)
             yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttr))
-            self.injector.log.append((sim.now, f"random-heal({a},{b})"))
+            self.injector._record(f"random-heal({a},{b})")
             graph.heal_link(a, b)

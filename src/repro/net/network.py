@@ -88,6 +88,12 @@ class Network:
         self._handlers: dict[int, DeliveryHandler] = {}
         #: optional wiretap for tests: called with every sent message
         self.tap: Optional[Callable[[Message], None]] = None
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
+        # per-run message sequence numbers for trace correlation (the
+        # global Message.msg_id counter is not reset between runs, so
+        # it would break byte-identical replay traces)
+        self._trace_seq: dict[int, int] = {}
 
     @property
     def delta(self) -> float:
@@ -110,11 +116,19 @@ class Network:
         )
         if self.tap is not None:
             self.tap(message)
+        if self.tracer is not None:
+            self._trace_seq[id(message)] = self.stats.sent
+            self.tracer.emit(
+                "msg.send", pid=message.src, dst=message.dst,
+                kind=message.kind, seq=self.stats.sent,
+            )
         if not self.graph.has_edge(message.src, message.dst):
             self.stats.dropped_no_edge += 1
+            self._trace_drop(message, "no-edge")
             return
         if self.loss_prob and self.rng.random() < self.loss_prob:
             self.stats.dropped_lost += 1
+            self._trace_drop(message, "lost")
             return
         delay = self.latency.delay(message.src, message.dst, self.rng)
         if self.slow_prob and self.rng.random() < self.slow_prob:
@@ -133,10 +147,27 @@ class Network:
     def _deliver(self, message: Message) -> None:
         if not self.graph.has_edge(message.src, message.dst):
             self.stats.dropped_in_flight += 1
+            self._trace_drop(message, "in-flight")
             return
         handler = self._handlers.get(message.dst)
         if handler is None or not self.graph.node_up(message.dst):
             self.stats.dropped_dst_down += 1
+            self._trace_drop(message, "dst-down")
             return
         self.stats.delivered += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.recv", pid=message.dst, src=message.src,
+                kind=message.kind,
+                seq=self._trace_seq.get(id(message), -1),
+                latency=self.sim.now - message.sent_at,
+            )
         handler(message)
+
+    def _trace_drop(self, message: Message, reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.drop", pid=message.dst, src=message.src,
+                kind=message.kind, reason=reason,
+                seq=self._trace_seq.get(id(message), -1),
+            )

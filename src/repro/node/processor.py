@@ -14,7 +14,7 @@ A :class:`Processor` owns:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping
 
 from ..net.message import Message
 from ..net.network import Network

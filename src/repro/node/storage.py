@@ -18,7 +18,7 @@ tasks' volatile state (views, partition assignment) is lost on a crash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List
 
 
 @dataclass(frozen=True)

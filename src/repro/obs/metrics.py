@@ -1,0 +1,223 @@
+"""A metrics registry: counters, gauges, and histograms.
+
+The registry is the structured companion to the benchmark tables —
+every ``bench_*`` run and every :func:`~repro.workload.runner.
+run_experiment` call loads its results into one so the numbers exist
+in machine-readable form, giving future performance PRs a stable
+baseline to diff against.
+
+Disabled recording uses :class:`NullRegistry`, whose instruments are
+shared do-nothing singletons — callers keep the same
+``registry.counter("x").inc()`` shape with no conditional at the call
+site and no allocation per lookup.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Optional
+
+#: percentiles reported in every histogram summary
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time measurement; set to whatever was last observed."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A distribution with exact percentile summaries.
+
+    Values are kept sorted (insertion via ``bisect``), so percentile
+    queries are O(1) and summaries are cheap; simulation runs observe
+    thousands of samples, not millions, so exactness beats bucketing.
+    """
+
+    __slots__ = ("name", "_sorted", "_sum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sorted: List[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._sorted, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; 0 with no samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._sorted:
+            return 0.0
+        rank = max(1, -(-len(self._sorted) * p // 100))  # ceil, rank >= 1
+        return self._sorted[int(rank) - 1]
+
+    def summary(self) -> dict:
+        """Count, sum, mean, min/max, and the standard percentiles."""
+        if not self._sorted:
+            return {"count": 0}
+        result = {
+            "count": len(self._sorted),
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._sorted[0],
+            "max": self._sorted[-1],
+        }
+        for p in SUMMARY_PERCENTILES:
+            result[f"p{p:g}"] = self.percentile(p)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={len(self._sorted)})"
+
+
+class MetricsRegistry:
+    """Interned instruments, keyed by name."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def _check_unclaimed(self, name: str, claiming: dict) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not claiming and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as another kind"
+                )
+
+    def snapshot(self) -> dict:
+        """Everything recorded, as a sorted, JSON-ready dict."""
+        return {
+            "counters": {name: c.value for name, c
+                         in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g
+                       in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h
+                           in sorted(self._histograms.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms)")
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled recorder: every lookup returns a shared no-op.
+
+    ``snapshot()`` is always empty; ``inc``/``set``/``observe`` discard
+    their arguments without allocating, so instrumented code needs no
+    "is metrics on?" branch.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histogram
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: a process-wide disabled registry, for defaulting optional parameters
+NULL_REGISTRY = NullRegistry()

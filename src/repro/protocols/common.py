@@ -10,7 +10,7 @@ costs and the benchmark comparisons isolate replica control itself.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Iterable
 
 from ..cc.factory import make_cc
 from ..core.errors import TransactionAborted

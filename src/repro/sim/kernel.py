@@ -29,6 +29,9 @@ class Simulator:
         #: if False, crashed processes are recorded but do not abort run()
         self.strict = True
         self.crashes: list[ProcessCrashed] = []
+        #: optional dispatch hook ``(time, event) -> None`` for tracing;
+        #: None (the default) costs one attribute check per step
+        self.trace_hook: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -99,6 +102,8 @@ class Simulator:
             if not getattr(event, "_cancelled", False):
                 break
         self._now = when
+        if self.trace_hook is not None:
+            self.trace_hook(when, event)
         materialize = getattr(event, "_materialize", None)
         if materialize is not None:
             materialize()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from .errors import Interrupt, ProcessCrashed, StopSimulation
-from .events import NORMAL, URGENT, Event
+from .events import URGENT, Event
 
 EventGenerator = Generator[Event, Any, Any]
 

@@ -9,11 +9,12 @@ per committed transaction, abort rates, and availability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional
 
 from ..cluster import Cluster
 from ..core.config import ProtocolConfig
 from ..net.latency import LatencyModel
+from ..obs.metrics import MetricsRegistry
 from ..protocols import protocol_factory
 from .generator import WorkloadGenerator, WorkloadSpec, body_for
 
@@ -36,6 +37,7 @@ class ExperimentSpec:
     failures: Optional[Callable[[Cluster], None]] = None
     retries: int = 0
     check: bool = False  # run the 1SR checker afterwards (small runs only)
+    trace: bool = False  # collect a structured event trace (cluster.tracer)
 
 
 @dataclass
@@ -49,6 +51,7 @@ class ExperimentResult:
     network: dict
     one_copy_ok: Optional[bool]
     cluster: Cluster
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def attempted(self) -> int:
@@ -92,6 +95,7 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
         processors=spec.processors, seed=spec.seed,
         latency=spec.latency, config=spec.config,
         protocol=protocol_factory(spec.protocol),
+        trace=spec.trace,
     )
     pids = cluster.pids
     copies = spec.copies_per_object or len(pids)
@@ -137,7 +141,40 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         network=cluster.network.stats.snapshot(),
         one_copy_ok=one_copy_ok,
         cluster=cluster,
+        registry=collect_registry(cluster),
     )
+
+
+def collect_registry(cluster: Cluster) -> MetricsRegistry:
+    """Distil a finished cluster's counters into a metrics registry.
+
+    This is the structured-output side of every experiment and
+    benchmark: counters for transaction outcomes and per-kind message
+    traffic, gauges for protocol-level totals, and a histogram of
+    committed-transaction latencies (simulated time).
+    """
+    registry = MetricsRegistry()
+    history = cluster.history
+    committed = history.committed()
+    registry.counter("txn.committed").inc(len(committed))
+    registry.counter("txn.aborted").inc(len(history.aborted()))
+    latency = registry.histogram("txn.latency")
+    for record in committed:
+        if record.end_time is not None:
+            latency.observe(record.end_time - record.begin_time)
+    stats = cluster.network.stats
+    registry.counter("msg.sent").inc(stats.sent)
+    registry.counter("msg.delivered").inc(stats.delivered)
+    registry.counter("msg.dropped").inc(stats.dropped)
+    for kind in sorted(stats.by_kind):
+        registry.counter(f"msg.kind.{kind}").inc(stats.by_kind[kind])
+    totals = cluster.total_metrics()
+    if totals is not None:
+        for name in ("vp_created", "vp_joined", "recoveries",
+                     "transfer_units", "logical_reads", "logical_writes",
+                     "physical_read_rpcs", "physical_write_rpcs"):
+            registry.gauge(f"protocol.{name}").set(getattr(totals, name, 0))
+    return registry
 
 
 def _client(cluster: Cluster, pid: int, generator: WorkloadGenerator,

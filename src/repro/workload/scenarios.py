@@ -12,7 +12,7 @@ partitions protocol (expecting correctness under identical timing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..analysis.one_copy import OneCopyResult, check_one_copy
 from ..analysis.serialization import is_cp_serializable
@@ -67,7 +67,7 @@ def _increment_body(obj: str):
     return body
 
 
-def run_example1_naive(seed: int = 0) -> ScenarioOutcome:
+def run_example1_naive(seed: int = 0, trace: bool = False) -> ScenarioOutcome:
     """Example 1 under the naive protocol: the lost increment.
 
     Fig. 1's graph — A·B cut, both connected to C — gives
@@ -77,7 +77,8 @@ def run_example1_naive(seed: int = 0) -> ScenarioOutcome:
     copy.  Both commit; the update is lost; the execution is
     serializable but not one-copy serializable.
     """
-    cluster = Cluster(processors=3, seed=seed, protocol=NaiveViewProtocol)
+    cluster = Cluster(processors=3, seed=seed, protocol=NaiveViewProtocol,
+                      trace=trace)
     cluster.place("x", holders=[A, B, C], initial=0)
     cluster.start()
     for pid in cluster.pids:
@@ -95,7 +96,8 @@ def run_example1_naive(seed: int = 0) -> ScenarioOutcome:
 
 
 def run_example1_vp(seed: int = 0, retries: int = 40,
-                    backoff: float = 4.0) -> ScenarioOutcome:
+                    backoff: float = 4.0,
+                    trace: bool = False) -> ScenarioOutcome:
     """Example 1's failure under the virtual partitions protocol.
 
     Same non-transitive graph and the same two increment transactions
@@ -103,7 +105,7 @@ def run_example1_vp(seed: int = 0, retries: int = 40,
     protocol serializes the partitions, so the second increment reads
     the first one's value through C's copy and no update is lost.
     """
-    cluster = Cluster(processors=3, seed=seed)
+    cluster = Cluster(processors=3, seed=seed, trace=trace)
     cluster.place("x", holders=[A, B, C], initial=0)
     cluster.start()
     cluster.injector.cut_at(2.0, A, B)
@@ -140,7 +142,7 @@ def _read_write_body(read_obj: str, write_obj: str, tag: str):
     return body
 
 
-def run_example2_naive(seed: int = 0) -> ScenarioOutcome:
+def run_example2_naive(seed: int = 0, trace: bool = False) -> ScenarioOutcome:
     """Example 2 under the naive protocol: the stale-view cycle.
 
     The system starts partitioned {A,B} | {C,D} and re-partitions to
@@ -150,7 +152,8 @@ def run_example2_naive(seed: int = 0) -> ScenarioOutcome:
     All four commit; the execution is serializable but the reads-from
     cycle T_A→T_B→T_C→T_D→T_A makes it non-1SR.
     """
-    cluster = Cluster(processors=4, seed=seed, protocol=NaiveViewProtocol)
+    cluster = Cluster(processors=4, seed=seed, protocol=NaiveViewProtocol,
+                      trace=trace)
     for obj, holders in EXAMPLE2_PLACEMENT.items():
         cluster.place(obj, holders=holders, initial=f"{obj}0")
     cluster.start()
@@ -179,7 +182,8 @@ def run_example2_naive(seed: int = 0) -> ScenarioOutcome:
 
 
 def run_example2_vp(seed: int = 0, retries: int = 40,
-                    backoff: float = 4.0) -> ScenarioOutcome:
+                    backoff: float = 4.0,
+                    trace: bool = False) -> ScenarioOutcome:
     """Example 2's re-partition under the virtual partitions protocol.
 
     Identical placement, partition timing, and transaction programs.
@@ -187,7 +191,7 @@ def run_example2_vp(seed: int = 0, retries: int = 40,
     old partition before anyone joins, so the Table-2 cycle cannot
     form: whatever commits is one-copy serializable.
     """
-    cluster = Cluster(processors=4, seed=seed)
+    cluster = Cluster(processors=4, seed=seed, trace=trace)
     for obj, holders in EXAMPLE2_PLACEMENT.items():
         cluster.place(obj, holders=holders, initial=f"{obj}0")
     cluster.start()

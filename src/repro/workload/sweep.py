@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
-from .generator import WorkloadSpec
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 
 

@@ -1,0 +1,41 @@
+"""Satellite: every benchmark entry point runs with tiny parameters.
+
+Each ``benchmarks/bench_*.py`` exposes ``run(**kwargs)`` and a
+module-level ``SMOKE`` dict of small-scale overrides.  This test
+imports every bench and executes it with those, so a broken bench
+fails fast in the unit suite instead of at benchmark time.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _load(path: Path):
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))  # for `from _shared import ...`
+    spec = importlib.util.spec_from_file_location(f"smoke_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_benchmarks_discovered():
+    assert len(BENCH_FILES) >= 11
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_benchmark_smoke(path, capsys):
+    module = _load(path)
+    assert hasattr(module, "run"), f"{path.name} has no run() entry point"
+    assert hasattr(module, "SMOKE"), f"{path.name} has no SMOKE parameters"
+    result = module.run(**module.SMOKE)
+    assert result is not None
+    out = capsys.readouterr().out
+    # every bench emits its headline numbers as one structured JSON line
+    assert '"bench"' in out and '"metrics"' in out

@@ -1,9 +1,6 @@
 """Integration tests of the virtual partition protocol's lifecycle."""
 
-import pytest
-
-from repro import Cluster, ProtocolConfig, VpId
-from repro.core.config import INIT_PREVIOUS
+from repro import Cluster, ProtocolConfig
 
 
 def make_cluster(n=5, seed=0, **kwargs):

@@ -5,8 +5,6 @@
 and combinations — always ending with a one-copy serializability audit.
 """
 
-import pytest
-
 from repro import Cluster, ProtocolConfig
 
 

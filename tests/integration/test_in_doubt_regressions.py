@@ -1,0 +1,54 @@
+"""Regression pins for the lost-decide 2PC hole (now fixed).
+
+Both scenarios were found by hypothesis (seeds 137 and 7174 of
+``tests/properties/test_protocol_invariants.py``) and shared one root
+cause: a participant that voted yes in a prepare round lost the
+commit-decide message and its prepared write was then rolled back —
+by the strict-R4 force-abort on a partition change (seed 137) or by
+the crash-time undo pass (seed 7174).  A later legal majority held no
+up-to-date copy and a committed update vanished.
+
+The fix makes such participants *in-doubt*: exempt from both rollback
+paths, resolved by querying the coordinator's decision log, and
+invisible to recovery until resolved.  These tests replay the exact
+schedules deterministically so the hole cannot quietly reopen.
+"""
+
+from tests.properties.test_protocol_invariants import run_random_cluster
+
+
+def _committed_counter_survives(seed: int, *, event_count: int,
+                                txn_count: int) -> None:
+    cluster = run_random_cluster(seed, n=4, event_count=event_count,
+                                 txn_count=txn_count)
+    committed_by_obj: dict = {}
+    for record in cluster.history.committed():
+        for op in record.logical_ops:
+            if op.kind == "w":
+                committed_by_obj[op.obj] = committed_by_obj.get(op.obj, 0) + 1
+    for obj, count in committed_by_obj.items():
+        readable = [
+            cluster.processor(p).store.peek(obj)[0]
+            for p in cluster.placement.copies(obj)
+            if cluster.protocol(p).available(obj, write=False)
+            and obj not in cluster.protocol(p).state.locked
+        ]
+        assert count in readable or not readable, (
+            f"{obj}: committed {count} increments, copies read {readable}"
+        )
+
+
+def test_partition_cut_after_commit_decide(seed=137):
+    """Seed 137: a cut right after commit loses the decides to two of
+    three copies; the survivors form a legal majority with only stale
+    copies.  In-doubt resolution must deliver the commit anyway."""
+    _committed_counter_survives(seed, event_count=5, txn_count=5)
+
+
+def test_participant_crash_while_in_doubt(seed=7174):
+    """Seed 7174: the coordinator crashes right after deciding commit
+    (its in-flight decide is dropped) and the in-doubt participant then
+    crashes too.  The crash-time undo pass must not roll the prepared
+    write back — the in-doubt set models the force-written prepare
+    record and survives."""
+    _committed_counter_survives(seed, event_count=4, txn_count=6)

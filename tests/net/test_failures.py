@@ -74,6 +74,31 @@ def test_past_time_rejected():
         injector.crash_at(1.0, 1)
 
 
+def test_at_accepts_now():
+    """The boundary case: ``time == sim.now`` is a valid schedule and
+    fires on the next kernel step, not a rejected past time."""
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+    injector.crash_at(sim.now, 1)  # must not raise
+    assert graph.node_up(1)        # not applied synchronously
+    sim.run()
+    assert not graph.node_up(1)
+    assert injector.log == [(5.0, "crash(1)")]
+
+
+def test_at_zero_at_boot():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.cut_at(0.0, 1, 2)
+    sim.run()
+    assert not graph.has_edge(1, 2)
+
+
 def test_late_bound_processor_map():
     sim = Simulator()
     graph = CommGraph([1])

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.net import CommGraph, FixedLatency, Network
 from repro.node import NoResponse, Processor
 from repro.sim import Simulator

@@ -1,0 +1,37 @@
+"""Satellite: two same-seed runs serialize to byte-identical traces.
+
+The replay-debugging guarantee: everything a trace records is derived
+from simulated time and seeded randomness, never from process state
+(object ids, global counters, wall clocks).  Serialization is canonical
+(sorted keys, compact separators), so equality is literal bytes.
+"""
+
+from repro import Cluster
+from repro.obs.export import dumps_jsonl
+
+
+def _traced_run(seed: int) -> str:
+    cluster = Cluster(processors=4, seed=seed, trace=True, loss_prob=0.05)
+    for index, obj in enumerate(["x", "y"]):
+        cluster.place(obj, holders=[1, 2, 3, 4], initial=index)
+    cluster.start()
+    cluster.injector.partition_at(10.0, [{1, 2}, {3, 4}])
+    cluster.injector.heal_all_at(60.0)
+    cluster.write_once(1, "x", 1)
+    cluster.read_once(3, "y")
+    cluster.write_once(2, "y", 5)
+    cluster.run(until=120.0)
+    return dumps_jsonl(cluster.tracer.events)
+
+
+def test_same_seed_traces_are_byte_identical():
+    first = _traced_run(seed=7)
+    second = _traced_run(seed=7)
+    assert first, "traced run must record events"
+    assert first == second
+
+
+def test_different_seeds_diverge():
+    # Sanity check that the guard above is not vacuous: the trace
+    # actually depends on the seeded randomness.
+    assert _traced_run(seed=7) != _traced_run(seed=8)

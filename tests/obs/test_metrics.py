@@ -1,0 +1,101 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_sets():
+    gauge = Gauge("g")
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+    gauge.set(-1.0)
+    assert gauge.value == -1.0
+
+
+def test_histogram_summary():
+    hist = Histogram("h")
+    for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 5.0
+    assert summary["mean"] == 3.0
+    assert summary["p50"] == 3.0
+
+
+def test_histogram_percentile_nearest_rank():
+    hist = Histogram("h")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(90) == 90.0
+    assert hist.percentile(99) == 99.0
+    assert hist.percentile(100) == 100.0
+
+
+def test_histogram_empty_summary():
+    assert Histogram("h").summary() == {"count": 0}
+
+
+def test_registry_interns_instruments():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_registry_rejects_kind_conflict():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_registry_snapshot_sorted_and_json_ready():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    registry.gauge("g").set(7)
+    registry.histogram("h").observe(1.0)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    assert snapshot["gauges"] == {"g": 7}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    json.dumps(snapshot)  # must be serializable as-is
+
+
+def test_null_registry_is_inert():
+    registry = NullRegistry()
+    registry.counter("a").inc(5)
+    registry.gauge("b").set(2.0)
+    registry.histogram("c").observe(1.0)
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+
+
+def test_null_registry_shares_instruments():
+    assert NULL_REGISTRY.counter("x") is NULL_REGISTRY.counter("y")

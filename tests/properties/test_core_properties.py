@@ -1,6 +1,6 @@
 """Property-based tests for the protocol's algebraic foundations."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.ids import VpId

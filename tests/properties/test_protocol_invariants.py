@@ -61,8 +61,13 @@ def run_random_cluster(seed: int, n: int, event_count: int,
     return cluster
 
 
+# derandomize=True: every run (locally and in CI) audits the same
+# deterministic example sequence, so a red build always reproduces.
+# Fresh adversarial draws belong in longer offline sweeps — see the
+# regression pins in tests/integration/test_in_doubt_regressions.py
+# for seeds such sweeps have caught.
 @given(st.integers(min_value=0, max_value=10_000))
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20, deadline=None, derandomize=True)
 def test_s1_s3_and_1sr_hold_under_random_failures(seed):
     cluster = run_random_cluster(seed, n=4, event_count=5, txn_count=5)
     history = cluster.history
@@ -95,7 +100,7 @@ def test_s1_s3_and_1sr_hold_under_random_failures(seed):
 
 
 @given(st.integers(min_value=0, max_value=10_000))
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15, deadline=None, derandomize=True)
 def test_committed_counter_increments_never_lost(seed):
     """Under random failures, the replicated counter's final value (on
     the surviving majority) equals the number of committed increments —

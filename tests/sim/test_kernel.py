@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import (
     EmptySchedule,
-    Event,
     ProcessCrashed,
     Simulator,
     StopSimulation,

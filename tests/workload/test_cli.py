@@ -78,3 +78,41 @@ def test_scenario_command(capsys):
 def test_unknown_protocol_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--protocol", "paxos"])
+
+
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    code = main(["trace", "example2", "--out", str(out_path), "--analyze"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "view formations" in out
+
+    from repro.obs.export import read_jsonl
+
+    events = read_jsonl(out_path)
+    assert events
+    etypes = {event.etype for event in events}
+    # view-formation phases, message traffic, and txn outcomes all land
+    assert "vp.invite" in etypes and "vp.commit" in etypes
+    assert "msg.send" in etypes and "msg.recv" in etypes
+    assert etypes & {"txn.commit", "txn.abort"}
+
+
+def test_trace_command_naive_flavor(tmp_path):
+    out_path = tmp_path / "naive.jsonl"
+    code = main(["trace", "example1", "--flavor", "naive",
+                 "--out", str(out_path)])
+    assert code == 0
+    assert out_path.exists()
+
+
+def test_metrics_command(capsys):
+    import json
+
+    code = main(["metrics", "--duration", "60", "--processors", "3",
+                 "--objects", "3"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"]["txn.committed"] > 0
+    assert "txn.latency" in payload["histograms"]
+    assert any(key.startswith("msg.kind.") for key in payload["counters"])
