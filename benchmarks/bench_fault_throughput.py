@@ -17,11 +17,15 @@ a majority; ROWA's writes collapse whenever any copy is down.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.core.config import ProtocolConfig
 from repro.net.failures import RandomFailures
 from repro.workload import ExperimentSpec, WorkloadSpec, sweep_protocols
+from repro.workload.runner import run_experiment
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import cost_metrics, emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
@@ -47,29 +51,40 @@ def run(duration: float = DURATION, protocols=PROTOCOLS) -> dict:
         retries=1,
     )
     results = sweep_protocols(spec, protocols)
+    # One extra paired row: the VP protocol on the batched transport
+    # (window δ/2), same seed and failure schedule — how much of the
+    # message bill batching absorbs while faults are being tolerated.
+    if "virtual-partitions" in protocols:
+        results["virtual-partitions+batch"] = run_experiment(replace(
+            spec, protocol="virtual-partitions",
+            config=ProtocolConfig(delta=1.0, batch_window=0.5),
+        ))
     rows = []
-    for name in protocols:
-        r = results[name]
+    for name, r in results.items():
         rows.append([
             name, r.committed, r.aborted, f"{r.commit_rate:.2f}",
             r.reads_per_logical_read, r.accesses_per_operation,
+            f"{r.messages_per_committed_txn:.1f}",
+            f"{r.envelopes_per_committed_txn:.1f}",
         ])
     report(render_table(
         ["protocol", "committed", "aborted", "commit rate",
-         "phys/logical read", "phys/op (mix)"],
+         "phys/logical read", "phys/op (mix)", "msgs/txn",
+         "envelopes/txn"],
         rows,
         title=f"E9  Read-heavy (90%) workload with rare crash/repair "
               f"(node MTTF 300, MTTR 40, duration {duration})",
     ))
     emit_metrics("fault_throughput", {
         f"{name}.{metric}": value
-        for name in protocols
-        for metric, value in (
-            ("committed", results[name].committed),
-            ("aborted", results[name].aborted),
-            ("phys_per_read", results[name].reads_per_logical_read),
-            ("phys_per_op", results[name].accesses_per_operation),
-        )
+        for name, r in results.items()
+        for metric, value in {
+            "committed": r.committed,
+            "aborted": r.aborted,
+            "phys_per_read": r.reads_per_logical_read,
+            "phys_per_op": r.accesses_per_operation,
+            **cost_metrics(r),
+        }.items()
     })
     return results
 

@@ -71,8 +71,14 @@ class AccessMixin:
                 break  # partition mismatch: retrying elsewhere won't help
             break  # lock timeout = probable deadlock; abort to break it
         if last_reason == "no-response":
-            # Fig. 10 line 5: a silent copy means the view is stale.
-            self.create_new_vp()
+            # Fig. 10 line 5: a silent copy means the view is stale —
+            # unless the view already changed while the read was in
+            # flight: then the silence is explained by the transition
+            # (servers hold accesses while copies are locked), a
+            # successor partition already exists, and minting another
+            # would churn views under steady retry load.
+            if state.assigned and state.cur_id == vpid:
+                self.create_new_vp()
         self.metrics.abort("r", last_reason)
         raise AccessAborted(obj, last_reason)
 
@@ -102,41 +108,34 @@ class AccessMixin:
         vpid = state.cur_id
         targets = sorted(self.placement.copies(obj) & state.lview)
         version = ctx.next_version()
-
-        def one_write(server):
-            try:
-                response = yield from self.processor.rpc(
-                    server, "write",
-                    {"obj": obj, "value": value, "v": vpid,
-                     "txn": ctx.txn_id, "ts": ctx.timestamp,
-                     "version": version},
-                    timeout=self.config.access_timeout,
-                )
-            except NoResponse:
-                return ("no-response", server)
-            payload = response.payload
-            if payload["ok"]:
-                return ("ok", server)
-            return (payload["reason"], server)
-
         self.metrics.physical_write_rpcs += len(targets)
-        # Plain sim processes, NOT processor tasks: a coordinator crash
-        # must not orphan the AllOf below (each worker is bounded by its
-        # rpc timeout, and a crashed sender's messages are dropped by
-        # the network anyway).
-        writers = [
-            self.sim.process(one_write(server),
-                             name=f"write({obj})->{server}")
-            for server in targets
-        ]
-        results = yield self.sim.all_of(writers)
-        outcomes = [results[w] for w in writers]
+        results = yield from self.processor.scatter_gather(
+            targets, "write",
+            lambda _server: {"obj": obj, "value": value, "v": vpid,
+                             "txn": ctx.txn_id, "ts": ctx.timestamp,
+                             "version": version},
+            timeout=self.config.access_timeout,
+            label=f"write({obj})",
+        )
+        outcomes = []
+        for server in targets:
+            reply = results[server]
+            if reply is None:
+                outcomes.append(("no-response", server))
+            elif reply["ok"]:
+                outcomes.append(("ok", server))
+            else:
+                outcomes.append((reply["reason"], server))
         failures = [o for o in outcomes if o[0] != "ok"]
         if failures:
             reason = failures[0][0]
             if reason == "no-response":
-                # Fig. 11 line 8: an unresponsive copy triggers a new VP.
-                self.create_new_vp()
+                # Fig. 11 line 8: an unresponsive copy triggers a new
+                # VP — but only when the view is still the one the
+                # write was issued in (see logical_read: silence during
+                # a transition is stale evidence, not a new failure).
+                if state.assigned and state.cur_id == vpid:
+                    self.create_new_vp()
             for status, server in outcomes:
                 if status == "ok":
                     ctx.note_access("w", obj, server, vpid)
@@ -187,33 +186,28 @@ class AccessMixin:
             "participants": sorted(ctx.participants),
         }
 
-        def one_vote(server):
-            try:
-                response = yield from self.processor.rpc(
-                    server, "prepare", payload,
-                    timeout=self.config.access_timeout,
-                )
-            except NoResponse:
-                return ("no-response", server)
-            return ("yes" if response.payload["ok"]
-                    else response.payload["reason"], server)
-
-        voters = [
-            self.sim.process(one_vote(server), name=f"prepare->{server}")
-            for server in votes_needed
-        ]
+        # Two-phase scatter: the prepare requests go out *before* the
+        # local vote runs (participants learn of the transaction and
+        # become in-doubt even when the coordinator's own vote fails —
+        # the resolver machinery handles them), matching the original
+        # spawn-then-vote ordering.
+        call = self.processor.scatter(
+            votes_needed, "prepare", lambda _server: payload,
+            timeout=self.config.access_timeout,
+        )
         if self.pid in ctx.participants:
             verdict = self._vote(ctx.txn_id, payload)
             if verdict is not None:
                 raise TransactionAborted(ctx.txn_id, f"local vote: {verdict}")
-        if voters:
-            results = yield self.sim.all_of(voters)
-            for voter in voters:
-                status, server = results[voter]
-                if status != "yes":
-                    raise TransactionAborted(
-                        ctx.txn_id, f"participant {server} voted {status}"
-                    )
+        results = yield from call.gather()
+        for server in votes_needed:
+            reply = results[server]
+            status = ("no-response" if reply is None
+                      else "yes" if reply["ok"] else reply["reason"])
+            if status != "yes":
+                raise TransactionAborted(
+                    ctx.txn_id, f"participant {server} voted {status}"
+                )
         return None
 
     def end_transaction(self, ctx, outcome: str):

@@ -56,6 +56,12 @@ class ProtocolConfig:
     #: concurrency control protocol (assumption A1): strict two-phase
     #: locking ("2pl") or strict timestamp ordering ("tso")
     cc: str = "2pl"
+    #: transport batching window (0 = off): messages bound for the same
+    #: destination within one window share a batch envelope — one
+    #: latency/loss draw for the lot.  Bounded by delta so a batched
+    #: message still arrives within the declared delay bound and every
+    #: 2δ/3δ timer stays sound.
+    batch_window: float = 0.0
     #: optional per-processor probe phase offset (pid -> delay before the
     #: first probe round).  Real failure detectors are not synchronized;
     #: a processor with a large phase is "slow to detect" failures (§4's
@@ -78,6 +84,12 @@ class ProtocolConfig:
             raise ValueError("timeouts must be positive")
         if self.cc not in ("2pl", "tso"):
             raise ValueError(f"unknown concurrency control {self.cc!r}")
+        if not 0.0 <= self.batch_window <= self.delta:
+            raise ValueError(
+                f"batch_window={self.batch_window} must lie in [0, "
+                f"delta={self.delta}]: a longer hold could push arrivals "
+                "past the bound the protocol's timers are derived from"
+            )
 
     # -- derived constants -------------------------------------------------
 

@@ -30,8 +30,6 @@ for writing.
 from __future__ import annotations
 
 
-from ..node.processor import NoResponse
-
 #: sentinel returned by ``_read_sources`` when a source copy is
 #: temporarily unusable (in-doubt 2PC write) but the view itself is
 #: fine — the caller should re-read later, not force a new partition.
@@ -194,32 +192,21 @@ class UpdateMixin:
         state = self.state
         want_log = self.config.catchup == "log"
         _, local_date = self.processor.store.peek(obj)
-
-        def one_read(server):
-            payload = {
-                "obj": obj,
-                "v": state.cur_id,
-                "after": local_date if want_log else None,
-                "mode": "log" if want_log else "full",
-            }
-            try:
-                response = yield from self.processor.rpc(
-                    server, "vpread", payload,
-                    timeout=self.config.access_timeout,
-                )
-            except NoResponse:
-                return None
-            return response.payload
-
-        readers = [
-            self.processor.spawn(f"vpread({obj})<-{server}", one_read(server))
-            for server in sources
-        ]
-        fired = yield self.sim.all_of(readers)
+        request = {
+            "obj": obj,
+            "v": state.cur_id,
+            "after": local_date if want_log else None,
+            "mode": "log" if want_log else "full",
+        }
+        results = yield from self.processor.scatter_gather(
+            sources, "vpread", lambda _server: request,
+            timeout=self.config.access_timeout,
+            label=f"vpread({obj})",
+        )
         payloads = []
         retry = False
-        for reader in readers:
-            payload = fired[reader]
+        for server in sources:
+            payload = results[server]
             if payload is None:
                 return None
             if not payload["ok"]:

@@ -14,8 +14,6 @@ Together these tasks give the paper's convergence bound Δ = π + 8δ
 
 from __future__ import annotations
 
-from ..sim import Timer
-
 
 class ProbesMixin:
     """Failure/recovery detection through periodic probes."""
@@ -24,8 +22,7 @@ class ProbesMixin:
         """Fig. 7: probe every period π while assigned."""
         state = self.state
         config = self.config
-        timer = Timer(self.sim, name=f"p{self.pid}.probe")
-        ack_box = self.processor.mailbox("probe-ack")
+        others = [pid for pid in sorted(self.all_pids) if pid != self.pid]
         sequence = 0
         if config.probe_phase is not None:
             phase = config.probe_phase(self.pid)
@@ -38,25 +35,30 @@ class ProbesMixin:
                 yield self.sim.timeout(config.pi)
                 continue
             current = state.cur_id
-            for pid in sorted(self.all_pids):
-                if pid != self.pid:
-                    self.processor.send(pid, "probe", {
-                        "from": self.pid, "v": current, "m": sequence,
-                    })
             responders = {self.pid}
-            timer.set(config.probe_ack_wait)
-            while True:
-                get = ack_box.get()
-                tick = timer.wait()
-                fired = yield self.sim.any_of([get, tick])
-                if get in fired:
-                    message = fired[get]
-                    if message.payload["m"] == sequence:
-                        responders.add(message.payload["from"])
-                else:
-                    break
-            # Fig. 7 line 21: any discrepancy triggers a new partition.
-            if state.assigned and responders != state.lview:
+
+            def accept(message, expect=sequence, seen=responders) -> bool:
+                if message.payload["m"] != expect:
+                    return False  # an ack for an earlier round
+                seen.add(message.payload["from"])
+                return True
+
+            yield from self.processor.broadcast_collect(
+                others, "probe",
+                {"from": self.pid, "v": current, "m": sequence},
+                reply_kind="probe-ack", window=config.probe_ack_wait,
+                accept=accept,
+            )
+            # Fig. 7 line 21: any discrepancy triggers a new partition —
+            # but only when this round's evidence is still *about* the
+            # current partition.  If a view change landed while the acks
+            # were in flight (we probed with the old id, so members of
+            # the new partition ignored it), the responder set is stale;
+            # reacting to it mints a fresh partition every round and the
+            # views never settle.  A genuine discrepancy reappears in
+            # the next round's probe, which carries the new id.
+            if (state.assigned and state.cur_id == current
+                    and responders != state.lview):
                 self.create_new_vp()
             sequence += 1
             yield self.sim.timeout(config.pi - config.probe_ack_wait)

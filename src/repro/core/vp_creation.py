@@ -18,8 +18,6 @@ or time".
 
 from __future__ import annotations
 
-from ..sim import Timer
-
 
 class CreationMixin:
     """Initiator side of virtual partition creation."""
@@ -55,31 +53,30 @@ class CreationMixin:
         if self.tracer is not None:
             self.tracer.emit("vp.invite", pid=self.pid, vpid=new_id,
                              invited=others)
-        for pid in others:
-            self.processor.send(pid, "newvp", {"id": new_id})
         accepted = {self.pid}
         previous_map = {self.pid: self._previous_info()}
-        timer = Timer(self.sim, name=f"p{self.pid}.create-vp")
-        timer.set(self.config.invite_wait)
-        accept_box = self.processor.mailbox("vp-accept")
-        while True:
-            get = accept_box.get()
-            tick = timer.wait()
-            fired = yield self.sim.any_of([get, tick])
-            if get in fired:
-                message = fired[get]
-                if message.payload["id"] == new_id:
-                    acceptor = message.payload["from"]
-                    accepted.add(acceptor)
-                    previous_map[acceptor] = (
-                        message.payload["previous"],
-                        frozenset(message.payload["prev_accessible"]),
-                    )
-                    if self.tracer is not None:
-                        self.tracer.emit("vp.accept-recv", pid=self.pid,
-                                         vpid=new_id, acceptor=acceptor)
-            else:
-                break
+
+        def accept(message) -> bool:
+            # Runs at receipt time so the accept trace events and the
+            # previous-map (§6 piggyback) carry per-arrival timestamps.
+            if message.payload["id"] != new_id:
+                return False
+            acceptor = message.payload["from"]
+            accepted.add(acceptor)
+            previous_map[acceptor] = (
+                message.payload["previous"],
+                frozenset(message.payload["prev_accessible"]),
+            )
+            if self.tracer is not None:
+                self.tracer.emit("vp.accept-recv", pid=self.pid,
+                                 vpid=new_id, acceptor=acceptor)
+            return True
+
+        yield from self.processor.broadcast_collect(
+            others, "newvp", {"id": new_id},
+            reply_kind="vp-accept", window=self.config.invite_wait,
+            accept=accept,
+        )
         # Fig. 5 line 14: commit only if no higher id arrived meanwhile.
         if new_id != state.max_id:
             if self.tracer is not None:

@@ -6,6 +6,10 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Mapping
 
+# Fallback id stream for directly constructed messages (tests, ad-hoc
+# envelopes).  Messages sent through a Processor draw their ids from
+# the owning Network instead (`Network.next_msg_id`), so same-seed
+# clusters built back-to-back in one process see identical id streams.
 _MESSAGE_IDS = count(1)
 
 

@@ -13,15 +13,28 @@ performance failures):
   how the paper distinguishes performance failures from crashes;
 * **duplication** is supported for robustness testing (off by default).
 
-Everything is counted in :class:`NetworkStats` so the benchmark harness
-can report message costs per logical operation.
+**Batching** (``batch_window > 0``): logical messages enqueued for the
+same (src, dst) pair within one window coalesce into a single batch
+envelope — one latency draw, one loss draw, one delivery event for the
+whole batch, the way real transports amortize per-message cost.  The
+window opener's arrival time is unchanged (arrival = open + max(delay,
+window) and delay ≥ window is the common case with window ≤ δ), and
+followers arrive *no later* than they would have alone — δ stays an
+upper bound, so every protocol timer derived from it remains sound.
+``batch_window = 0`` (the default) preserves the unbatched behavior
+exactly, draw for draw.
+
+Everything is counted in :class:`NetworkStats` — logical messages
+*and* physical envelopes — so the benchmark harness can report message
+costs per logical operation and the batching win is measurable.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim import Simulator
 from .latency import LatencyModel
@@ -33,7 +46,13 @@ DeliveryHandler = Callable[[Message], None]
 
 @dataclass
 class NetworkStats:
-    """Counters for everything the transport did."""
+    """Counters for everything the transport did.
+
+    ``sent`` counts *logical* messages (what the protocol pays for in
+    the paper's cost model); ``envelopes`` counts *physical*
+    transmissions — with batching several logical messages share one
+    envelope, without it the two counters track each other.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -43,6 +62,10 @@ class NetworkStats:
     dropped_dst_down: int = 0
     duplicated: int = 0
     slow: int = 0
+    #: physical transmissions (one latency/loss draw each)
+    envelopes: int = 0
+    #: logical messages carried by those envelopes
+    enveloped_messages: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -50,12 +73,20 @@ class NetworkStats:
         return (self.dropped_no_edge + self.dropped_in_flight
                 + self.dropped_lost + self.dropped_dst_down)
 
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean logical messages per envelope (1.0 = no batching win)."""
+        return (self.enveloped_messages / self.envelopes
+                if self.envelopes else 0.0)
+
     def snapshot(self) -> dict:
         return {
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
             "slow": self.slow,
+            "envelopes": self.envelopes,
+            "batch_occupancy": self.batch_occupancy,
             "by_kind": dict(self.by_kind),
         }
 
@@ -67,7 +98,7 @@ class Network:
                  latency: LatencyModel, rng: random.Random,
                  loss_prob: float = 0.0,
                  slow_prob: float = 0.0, slow_factor: float = 5.0,
-                 dup_prob: float = 0.0):
+                 dup_prob: float = 0.0, batch_window: float = 0.0):
         if not 0.0 <= loss_prob < 1.0:
             raise ValueError(f"loss_prob out of range: {loss_prob}")
         if not 0.0 <= slow_prob < 1.0:
@@ -76,6 +107,8 @@ class Network:
             raise ValueError(f"dup_prob out of range: {dup_prob}")
         if slow_factor <= 1.0:
             raise ValueError("slow_factor must exceed 1")
+        if batch_window < 0.0:
+            raise ValueError(f"negative batch_window: {batch_window}")
         self.sim = sim
         self.graph = graph
         self.latency = latency
@@ -84,16 +117,27 @@ class Network:
         self.slow_prob = slow_prob
         self.slow_factor = slow_factor
         self.dup_prob = dup_prob
+        self.batch_window = batch_window
         self.stats = NetworkStats()
         self._handlers: dict[int, DeliveryHandler] = {}
+        # per-network message ids: two clusters built in one process
+        # must see identical id streams for the same seed (a process-
+        # global counter would break back-to-back determinism)
+        self._msg_ids = count(1)
+        # open batch envelopes, keyed by (src, dst)
+        self._pending: Dict[Tuple[int, int], List[Message]] = {}
         #: optional wiretap for tests: called with every sent message
         self.tap: Optional[Callable[[Message], None]] = None
         #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
         self.tracer = None
-        # per-run message sequence numbers for trace correlation (the
-        # global Message.msg_id counter is not reset between runs, so
-        # it would break byte-identical replay traces)
+        # per-run message sequence numbers for trace correlation (kept
+        # even with per-network msg_ids: directly constructed test
+        # messages still draw from the global fallback counter)
         self._trace_seq: dict[int, int] = {}
+
+    def next_msg_id(self) -> int:
+        """Allocate the next message id on this network's own stream."""
+        return next(self._msg_ids)
 
     @property
     def delta(self) -> float:
@@ -122,47 +166,89 @@ class Network:
                 "msg.send", pid=message.src, dst=message.dst,
                 kind=message.kind, seq=self.stats.sent,
             )
-        if not self.graph.has_edge(message.src, message.dst):
-            self.stats.dropped_no_edge += 1
-            self._trace_drop(message, "no-edge")
+        if self.batch_window <= 0.0:
+            self._transmit((message,), held=0.0)
+            return
+        key = (message.src, message.dst)
+        pending = self._pending.get(key)
+        if pending is not None:
+            # an envelope to this destination is already open: ride it
+            pending.append(message)
+            return
+        self._pending[key] = [message]
+        flush = self.sim.timeout(
+            self.batch_window, name=f"flush#{message.src}->{message.dst}"
+        )
+        flush.add_callback(lambda _event, k=key: self._flush(k))
+
+    def _flush(self, key: Tuple[int, int]) -> None:
+        batch = self._pending.pop(key, None)
+        if batch:
+            self._transmit(tuple(batch), held=self.batch_window)
+
+    def _transmit(self, batch: Tuple[Message, ...], held: float) -> None:
+        """Resolve one envelope: edge/loss/latency draws for the batch.
+
+        ``held`` is how long the envelope sat open before the draws;
+        the opener's total arrival time is ``held + max(delay - held,
+        0)`` — unchanged whenever ``delay >= held``, which the
+        ``batch_window <= delta`` constraint guarantees for in-bound
+        latency models.
+        """
+        first = batch[0]
+        n = len(batch)
+        self.stats.envelopes += 1
+        self.stats.enveloped_messages += n
+        if not self.graph.has_edge(first.src, first.dst):
+            self.stats.dropped_no_edge += n
+            for message in batch:
+                self._trace_drop(message, "no-edge")
             return
         if self.loss_prob and self.rng.random() < self.loss_prob:
-            self.stats.dropped_lost += 1
-            self._trace_drop(message, "lost")
+            self.stats.dropped_lost += n
+            for message in batch:
+                self._trace_drop(message, "lost")
             return
-        delay = self.latency.delay(message.src, message.dst, self.rng)
+        delay = self.latency.delay(first.src, first.dst, self.rng)
         if self.slow_prob and self.rng.random() < self.slow_prob:
             delay *= self.slow_factor
-            self.stats.slow += 1
-        self._schedule_delivery(message, delay)
+            self.stats.slow += n
+        self._schedule_delivery(batch, max(delay - held, 0.0))
         if self.dup_prob and self.rng.random() < self.dup_prob:
-            self.stats.duplicated += 1
-            dup_delay = self.latency.delay(message.src, message.dst, self.rng)
-            self._schedule_delivery(message, dup_delay)
+            self.stats.duplicated += n
+            self.stats.envelopes += 1
+            self.stats.enveloped_messages += n
+            dup_delay = self.latency.delay(first.src, first.dst, self.rng)
+            self._schedule_delivery(batch, max(dup_delay - held, 0.0))
 
-    def _schedule_delivery(self, message: Message, delay: float) -> None:
-        arrival = self.sim.timeout(delay, name=f"deliver#{message.msg_id}")
-        arrival.add_callback(lambda _event, m=message: self._deliver(m))
+    def _schedule_delivery(self, batch: Tuple[Message, ...],
+                           delay: float) -> None:
+        arrival = self.sim.timeout(delay, name=f"deliver#{batch[0].msg_id}")
+        arrival.add_callback(lambda _event, b=batch: self._deliver(b))
 
-    def _deliver(self, message: Message) -> None:
-        if not self.graph.has_edge(message.src, message.dst):
-            self.stats.dropped_in_flight += 1
-            self._trace_drop(message, "in-flight")
+    def _deliver(self, batch: Tuple[Message, ...]) -> None:
+        first = batch[0]
+        if not self.graph.has_edge(first.src, first.dst):
+            self.stats.dropped_in_flight += len(batch)
+            for message in batch:
+                self._trace_drop(message, "in-flight")
             return
-        handler = self._handlers.get(message.dst)
-        if handler is None or not self.graph.node_up(message.dst):
-            self.stats.dropped_dst_down += 1
-            self._trace_drop(message, "dst-down")
+        handler = self._handlers.get(first.dst)
+        if handler is None or not self.graph.node_up(first.dst):
+            self.stats.dropped_dst_down += len(batch)
+            for message in batch:
+                self._trace_drop(message, "dst-down")
             return
-        self.stats.delivered += 1
-        if self.tracer is not None:
-            self.tracer.emit(
-                "msg.recv", pid=message.dst, src=message.src,
-                kind=message.kind,
-                seq=self._trace_seq.get(id(message), -1),
-                latency=self.sim.now - message.sent_at,
-            )
-        handler(message)
+        for message in batch:
+            self.stats.delivered += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "msg.recv", pid=message.dst, src=message.src,
+                    kind=message.kind,
+                    seq=self._trace_seq.get(id(message), -1),
+                    latency=self.sim.now - message.sent_at,
+                )
+            handler(message)
 
     def _trace_drop(self, message: Message, reason: str) -> None:
         if self.tracer is not None:

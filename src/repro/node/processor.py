@@ -14,28 +14,17 @@ A :class:`Processor` owns:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
 
 from ..net.message import Message
 from ..net.network import Network
-from ..sim import MessageQueue, Process, Simulator
+from ..sim import MessageQueue, Process, Simulator, Timer
 from .storage import CopyStore
+from .transport import (  # noqa: F401  (NoResponse re-exported)
+    NoResponse, QuorumPredicate, ScatterCall, TransportStats,
+)
 
 TaskFactory = Callable[[], Any]  # returns a generator
-
-
-class NoResponse(Exception):
-    """An expected reply did not arrive within the timeout.
-
-    This is the trigger for the paper's ``[no-response: Create-new-VP;
-    ...]`` exception handlers: a missing reply is evidence that the
-    local view no longer matches the can-communicate relation.
-    """
-
-    def __init__(self, dst: int, kind: str):
-        super().__init__(f"no response from {dst} to {kind!r}")
-        self.dst = dst
-        self.kind = kind
 
 
 class Processor:
@@ -47,6 +36,8 @@ class Processor:
         self.network = network
         self.store = CopyStore(pid)
         self.alive = True
+        #: fan-out accounting for the shared transport primitives
+        self.transport = TransportStats()
         self._mailboxes: Dict[str, MessageQueue] = {}
         self._reply_waiters: Dict[int, Any] = {}
         self._task_factories: Dict[str, TaskFactory] = {}
@@ -65,7 +56,8 @@ class Processor:
              | None = None) -> Message:
         """Fire-and-forget send; returns the envelope (for reply matching)."""
         message = Message(src=self.pid, dst=dst, kind=kind,
-                          payload=payload or {}, sent_at=self.sim.now)
+                          payload=payload or {}, sent_at=self.sim.now,
+                          msg_id=self.network.next_msg_id())
         self.network.send(message)
         return message
 
@@ -75,7 +67,7 @@ class Processor:
         response = Message(
             src=self.pid, dst=request.src, kind=kind,
             payload=payload or {}, reply_to=request.msg_id,
-            sent_at=self.sim.now,
+            sent_at=self.sim.now, msg_id=self.network.next_msg_id(),
         )
         self.network.send(response)
 
@@ -111,6 +103,77 @@ class Processor:
     def receive(self, kind: str):
         """Event firing with the next ``kind`` message."""
         return self.mailbox(kind).get()
+
+    # -- fan-out primitives (see node/transport.py) ---------------------------
+
+    def scatter(self, targets: Iterable[int], kind: str,
+                payload_for: Callable[[int], Mapping[str, Any] | None],
+                *, timeout: float,
+                label: Optional[str] = None) -> ScatterCall:
+        """Start parallel RPCs to ``targets``; gather the replies later.
+
+        The two-phase form: requests go out now, the caller may do
+        local work, then ``results = yield from call.gather()``.
+        """
+        return ScatterCall(self, targets, kind, payload_for,
+                           timeout=timeout, label=label)
+
+    def scatter_gather(self, targets: Iterable[int], kind: str,
+                       payload_for: Callable[[int], Mapping[str, Any] | None],
+                       *, timeout: float,
+                       quorum: Optional[QuorumPredicate] = None,
+                       label: Optional[str] = None):
+        """Generator: parallel RPCs to ``targets`` under one deadline.
+
+        Returns ``{target: reply_payload_or_None}`` (None = silence).
+        With ``quorum``, stops early once the predicate holds on the
+        partial map (see :meth:`ScatterCall.gather`).
+        """
+        call = self.scatter(targets, kind, payload_for,
+                            timeout=timeout, label=label)
+        results = yield from call.gather(quorum=quorum)
+        return results
+
+    def quorum_call(self, targets: Iterable[int], kind: str,
+                    payload_for: Callable[[int], Mapping[str, Any] | None],
+                    *, timeout: float, quorum: QuorumPredicate,
+                    label: Optional[str] = None):
+        """Generator: ``scatter_gather`` with a required quorum predicate."""
+        results = yield from self.scatter_gather(
+            targets, kind, payload_for,
+            timeout=timeout, quorum=quorum, label=label,
+        )
+        return results
+
+    def broadcast_collect(self, targets: Iterable[int], kind: str,
+                          payload: Mapping[str, Any] | None, *,
+                          reply_kind: str, window: float,
+                          accept: Callable[[Message], bool]):
+        """Generator: one-way broadcast, then a timed collection window.
+
+        The Figs. 5/7 pattern: send ``kind`` to every target, then for
+        ``window`` time units drain the ``reply_kind`` mailbox, passing
+        each message to ``accept`` — which filters (return False to
+        ignore) and may record per-arrival state (trace events,
+        responder sets) at receipt time.  Returns the accepted messages.
+        """
+        self.transport.broadcasts += 1
+        for dst in targets:
+            self.send(dst, kind, payload)
+        timer = Timer(self.sim, name=f"p{self.pid}.collect-{reply_kind}")
+        timer.set(window)
+        box = self.mailbox(reply_kind)
+        collected: list[Message] = []
+        while True:
+            get = box.get()
+            tick = timer.wait()
+            fired = yield self.sim.any_of([get, tick])
+            if get in fired:
+                message = fired[get]
+                if accept(message):
+                    collected.append(message)
+            else:
+                return collected
 
     def _on_delivery(self, message: Message) -> None:
         if not self.alive:

@@ -16,7 +16,7 @@ can run.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict
 
 
@@ -47,25 +47,24 @@ class ProtocolMetrics:
         self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
 
     def merge(self, other: "ProtocolMetrics") -> "ProtocolMetrics":
-        """Aggregate counters across processors (for run-level reports)."""
-        merged = ProtocolMetrics(
-            logical_reads=self.logical_reads + other.logical_reads,
-            logical_writes=self.logical_writes + other.logical_writes,
-            physical_read_rpcs=self.physical_read_rpcs + other.physical_read_rpcs,
-            physical_write_rpcs=self.physical_write_rpcs + other.physical_write_rpcs,
-            version_collect_rpcs=(self.version_collect_rpcs
-                                  + other.version_collect_rpcs),
-            local_reads=self.local_reads + other.local_reads,
-            read_aborts=self.read_aborts + other.read_aborts,
-            write_aborts=self.write_aborts + other.write_aborts,
-            vp_created=self.vp_created + other.vp_created,
-            vp_joined=self.vp_joined + other.vp_joined,
-            recoveries=self.recoveries + other.recoveries,
-            transfer_units=self.transfer_units + other.transfer_units,
-        )
-        for source in (self.by_reason, other.by_reason):
-            for reason, count in source.items():
-                merged.by_reason[reason] = merged.by_reason.get(reason, 0) + count
+        """Aggregate counters across processors (for run-level reports).
+
+        Field-generic on purpose: a counter added to the dataclass is
+        aggregated automatically instead of silently dropped (pinned by
+        ``tests/protocols/test_base_metrics.py``).  Numeric fields add;
+        dict-valued fields merge key-wise.
+        """
+        merged = ProtocolMetrics()
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, dict):
+                combined = dict(mine)
+                for key, amount in theirs.items():
+                    combined[key] = combined.get(key, 0) + amount
+                setattr(merged, spec.name, combined)
+            else:
+                setattr(merged, spec.name, mine + theirs)
         return merged
 
 

@@ -14,7 +14,6 @@ from typing import Iterable
 
 from ..cc.factory import make_cc
 from ..core.errors import TransactionAborted
-from ..node.processor import NoResponse
 from ..protocols.base import ProtocolMetrics
 
 REJECT_LOCK_TIMEOUT = "lock-timeout"
@@ -159,28 +158,14 @@ class BaselineServerMixin:
 
     def _fanout(self, kind: str, servers: Iterable[int], payload_for):
         """Generator: parallel RPCs; returns ``{server: payload_or_None}``
-        (None = no response)."""
-
-        def one(server):
-            try:
-                response = yield from self.processor.rpc(
-                    server, kind, payload_for(server),
-                    timeout=self.config.access_timeout,
-                )
-            except NoResponse:
-                return None
-            return response.payload
-
-        # Plain sim processes (see core/access.py): a crash of this
-        # processor must not orphan the AllOf below.
-        procs = {
-            server: self.sim.process(one(server), name=f"{kind}->{server}")
-            for server in servers
-        }
-        if not procs:
-            return {}
-        fired = yield self.sim.all_of(list(procs.values()))
-        return {server: fired[proc] for server, proc in procs.items()}
+        (None = no response).  A thin veneer over the processor's shared
+        scatter-gather primitive (node/transport.py), kept so the
+        baselines read like the paper's pseudocode."""
+        results = yield from self.processor.scatter_gather(
+            servers, kind, payload_for,
+            timeout=self.config.access_timeout,
+        )
+        return results
 
     def prepare_commit(self, ctx):
         """Plain unanimous-vote prepare (no view validation)."""

@@ -193,7 +193,14 @@ class QuorumProtocol(BaselineServerMixin, ReplicaControlProtocol):
                         1 for s in wave if s == self.pid)
             else:
                 self.metrics.physical_write_rpcs += len(wave)
-            results = yield from self._fanout(kind, wave, payload_for)
+            # One wave per scatter call: the wave logic (nearest-first,
+            # widen on silence) is the protocol's cost profile and must
+            # stay; only the fan-out mechanics are shared.
+            results = yield from self.processor.scatter_gather(
+                wave, kind, payload_for,
+                timeout=self.config.access_timeout,
+                label=f"{kind}({obj})",
+            )
             for server, payload in results.items():
                 if payload is not None and payload["ok"]:
                     responses[server] = payload

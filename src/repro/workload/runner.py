@@ -38,6 +38,15 @@ class ExperimentSpec:
     retries: int = 0
     check: bool = False  # run the 1SR checker afterwards (small runs only)
     trace: bool = False  # collect a structured event trace (cluster.tracer)
+    #: concurrent clients per processor (>1 creates same-tick fan-out
+    #: overlap, which is what transport batching coalesces)
+    clients: int = 1
+    #: fixed transaction count per client (None = open loop until
+    #: ``duration``); fixed counts make paired runs attempt identical work
+    txns_per_client: Optional[int] = None
+    #: optional per-client object pool: (pid, client_index) -> object
+    #: names that client draws from (None = every client uses all objects)
+    objects_for: Optional[Callable[[int, int], Any]] = None
 
 
 @dataclass
@@ -88,6 +97,19 @@ class ExperimentResult:
         return (self.network["sent"] / self.committed
                 if self.committed else float("inf"))
 
+    @property
+    def envelopes_per_committed_txn(self) -> float:
+        """Physical transmissions per committed transaction — with
+        batching this drops below :attr:`messages_per_committed_txn`."""
+        envelopes = self.network.get("envelopes", self.network["sent"])
+        return (envelopes / self.committed
+                if self.committed else float("inf"))
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean logical messages per envelope (1.0 = no batching win)."""
+        return self.network.get("batch_occupancy", 1.0)
+
 
 def build_cluster(spec: ExperimentSpec) -> Cluster:
     """Construct (but do not run) the cluster an ExperimentSpec describes."""
@@ -115,15 +137,23 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         spec.failures(cluster)
     objects = [f"o{i}" for i in range(spec.objects)]
 
+    if spec.clients < 1:
+        raise ValueError(f"clients must be >= 1: {spec.clients}")
     for pid in cluster.pids:
-        generator = WorkloadGenerator(
-            spec.workload, objects,
-            cluster.streams.stream(f"workload-p{pid}"),
-        )
-        cluster.sim.process(
-            _client(cluster, pid, generator, spec),
-            name=f"client@p{pid}",
-        )
+        for client in range(spec.clients):
+            # client 0 keeps the original stream/tag names so existing
+            # single-client runs stay byte-identical under one seed
+            suffix = "" if client == 0 else f"c{client}"
+            pool = (objects if spec.objects_for is None
+                    else list(spec.objects_for(pid, client)))
+            generator = WorkloadGenerator(
+                spec.workload, pool,
+                cluster.streams.stream(f"workload-p{pid}{suffix}"),
+            )
+            cluster.sim.process(
+                _client(cluster, pid, generator, spec, tag=f"p{pid}{suffix}"),
+                name=f"client@p{pid}{suffix}",
+            )
 
     cluster.run(until=spec.duration + spec.grace)
 
@@ -166,8 +196,26 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
     registry.counter("msg.sent").inc(stats.sent)
     registry.counter("msg.delivered").inc(stats.delivered)
     registry.counter("msg.dropped").inc(stats.dropped)
+    registry.counter("msg.envelopes").inc(stats.envelopes)
+    registry.gauge("msg.batch_occupancy").set(stats.batch_occupancy)
+    if committed:
+        registry.gauge("txn.messages_per_commit").set(
+            stats.sent / len(committed))
+        registry.gauge("txn.envelopes_per_commit").set(
+            stats.envelopes / len(committed))
     for kind in sorted(stats.by_kind):
         registry.counter(f"msg.kind.{kind}").inc(stats.by_kind[kind])
+    fanout_latency = registry.histogram("transport.fanout_latency")
+    for pid in cluster.pids:
+        transport = cluster.processors[pid].transport
+        registry.counter("transport.fanouts").inc(transport.fanouts)
+        registry.counter("transport.broadcasts").inc(transport.broadcasts)
+        registry.counter("transport.rpcs").inc(transport.rpcs)
+        registry.counter("transport.no_responses").inc(
+            transport.no_responses)
+        registry.counter("transport.early_exits").inc(
+            transport.early_exits)
+        fanout_latency.observe_many(transport.fanout_latencies)
     totals = cluster.total_metrics()
     if totals is not None:
         for name in ("vp_created", "vp_joined", "recoveries",
@@ -178,17 +226,27 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
 
 
 def _client(cluster: Cluster, pid: int, generator: WorkloadGenerator,
-            spec: ExperimentSpec):
-    """Open-loop client: Poisson arrivals until the duration elapses."""
+            spec: ExperimentSpec, tag: str):
+    """One client: Poisson arrivals until the duration elapses, or for
+    exactly ``spec.txns_per_client`` transactions when that is set."""
     sim = cluster.sim
     tm = cluster.tm(pid)
+
+    def one(index):
+        program = generator.next_program()
+        body = body_for(program, tag=f"{tag}t{index}")
+        yield from tm.run(body, retries=spec.retries,
+                          backoff=2 * cluster.config.delta)
+
+    if spec.txns_per_client is not None:
+        for index in range(spec.txns_per_client):
+            yield sim.timeout(generator.next_interarrival())
+            yield from one(index)
+        return
     index = 0
     while sim.now < spec.duration:
         yield sim.timeout(generator.next_interarrival())
         if sim.now >= spec.duration:
             return
-        program = generator.next_program()
-        body = body_for(program, tag=f"p{pid}t{index}")
+        yield from one(index)
         index += 1
-        yield from tm.run(body, retries=spec.retries,
-                          backoff=2 * cluster.config.delta)

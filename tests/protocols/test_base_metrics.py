@@ -1,0 +1,40 @@
+"""Pin ProtocolMetrics.merge to the dataclass's full field list.
+
+``merge`` iterates ``dataclasses.fields()`` so a counter added later is
+aggregated automatically.  The test below sets every field to a
+distinct value, so any hand-copied field list that forgets one fails
+on exactly that field's name.
+"""
+
+from dataclasses import fields
+
+from repro.protocols.base import ProtocolMetrics
+
+
+def test_merge_covers_every_field():
+    a = ProtocolMetrics()
+    b = ProtocolMetrics()
+    for index, spec in enumerate(fields(ProtocolMetrics), start=1):
+        if isinstance(getattr(a, spec.name), dict):
+            setattr(a, spec.name, {"only-a": index, "both": 1})
+            setattr(b, spec.name, {"only-b": 5, "both": 2})
+        else:
+            setattr(a, spec.name, index)
+            setattr(b, spec.name, 100)
+    merged = a.merge(b)
+    for index, spec in enumerate(fields(ProtocolMetrics), start=1):
+        value = getattr(merged, spec.name)
+        if isinstance(value, dict):
+            assert value == {"only-a": index, "only-b": 5,
+                             "both": 3}, spec.name
+        else:
+            assert value == index + 100, spec.name
+
+
+def test_merge_does_not_mutate_its_inputs():
+    a = ProtocolMetrics(logical_reads=1, by_reason={"x": 1})
+    b = ProtocolMetrics(logical_reads=2, by_reason={"x": 2})
+    merged = a.merge(b)
+    assert merged.logical_reads == 3 and merged.by_reason == {"x": 3}
+    assert a.logical_reads == 1 and a.by_reason == {"x": 1}
+    assert b.logical_reads == 2 and b.by_reason == {"x": 2}
