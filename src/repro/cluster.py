@@ -33,6 +33,7 @@ from .net.latency import FixedLatency, LatencyModel
 from .net.network import Network
 from .net.topology import CommGraph
 from .node.processor import Processor
+from .node.storage import StorageEngine, StoragePolicy
 from .sim import RandomStreams, Simulator
 
 #: protocol factory signature: (processor, placement, config, history,
@@ -76,8 +77,14 @@ class Cluster:
         )
         self.history = History()
         self.placement = CopyPlacement()
+        storage_policy = StoragePolicy(
+            checkpoint_every=self.config.checkpoint_every,
+            log_retain=self.config.log_retain,
+        )
         self.processors: Dict[int, Processor] = {
-            pid: Processor(pid, self.sim, self.network) for pid in pids
+            pid: Processor(pid, self.sim, self.network,
+                           store=StorageEngine(pid, policy=storage_policy))
+            for pid in pids
         }
         factory = protocol or VirtualPartitionProtocol
         self.protocols: Dict[int, Any] = {
@@ -103,6 +110,8 @@ class Cluster:
         self.tracer = tracer
         self.network.tracer = tracer
         self.injector.tracer = tracer
+        for processor in self.processors.values():
+            processor.tracer = tracer
         for proto in self.protocols.values():
             if hasattr(proto, "set_tracer"):
                 proto.set_tracer(tracer)

@@ -171,7 +171,12 @@ class AccessMixin:
         # Open the decision-log entry before any participant can vote
         # yes: an in-doubt participant querying us must find at least
         # "undecided", never a missing entry (which means presumed abort).
-        self._decisions.setdefault(ctx.txn_id, "undecided")
+        # Journalled unforced — presumed abort means its *absence* is
+        # already safe, so the open needs no sync of its own.
+        if ctx.txn_id not in self._decisions:
+            self._decisions[ctx.txn_id] = "undecided"
+            self.processor.store.record_decision(ctx.txn_id, "undecided",
+                                                 forced=False)
         state = self.state
         if not state.assigned or state.cur_id not in ctx.vpids:
             if ctx.vpids and not self._weakened_ok_locally(ctx):
@@ -199,6 +204,13 @@ class AccessMixin:
             verdict = self._vote(ctx.txn_id, payload)
             if verdict is not None:
                 raise TransactionAborted(ctx.txn_id, f"local vote: {verdict}")
+            # Our own yes vote is a participant prepare record: force-
+            # written (the classic 2PC force point), its model-time cost
+            # overlapping the remote vote collection already in flight.
+            self.processor.store.record_prepare(ctx.txn_id, ctx.objects)
+            sync_cost = self.config.storage_sync_cost
+            if sync_cost > 0:
+                yield self.sim.timeout(sync_cost)
         results = yield from call.gather()
         for server in votes_needed:
             reply = results[server]
@@ -230,8 +242,13 @@ class AccessMixin:
                                      "aborted while in doubt (R4)")
         # Log the decision before the first decide message leaves: a
         # participant may lose the decide to a partition cut and query
-        # the log later (see _resolve_in_doubt).
+        # the log later (see _resolve_in_doubt).  This is the
+        # coordinator's forced write — the decide messages wait for it.
         self._decisions[ctx.txn_id] = outcome
+        self.processor.store.record_decision(ctx.txn_id, outcome)
+        sync_cost = self.config.storage_sync_cost
+        if sync_cost > 0:
+            yield self.sim.timeout(sync_cost)
         for server in sorted(ctx.participants):
             if server == self.pid:
                 self._apply_decision(ctx.txn_id, outcome)
@@ -239,7 +256,7 @@ class AccessMixin:
                 self.processor.send(server, "release",
                                     {"txn": ctx.txn_id, "outcome": outcome})
         return
-        yield  # pragma: no cover - generator form for interface symmetry
+        yield  # pragma: no cover - generator form when sync cost is zero
 
     def available(self, obj: str, write: bool) -> bool:
         """R1 as a pure predicate (reads and writes gate identically)."""
@@ -369,6 +386,12 @@ class AccessMixin:
             time=self.sim.now, txn=txn, kind="w", obj=obj,
             copy_pid=self.pid, value=value, version=version, vpid=vpid,
         )
+        # Durability cost model: the write's journal append must land
+        # before the copy acknowledges.  The write is already visible
+        # locally (strict 2PL holds the lock), so only the ack waits.
+        append_cost = self.config.storage_append_cost
+        if append_cost > 0:
+            yield self.sim.timeout(append_cost)
         self.processor.reply(message, "write-reply", {"ok": True})
 
     def _handle_prepare(self, message):
@@ -387,10 +410,29 @@ class AccessMixin:
             self.sim.timeout(self.config.access_timeout).add_callback(
                 lambda _event, txn=txn: self._maybe_start_resolver(txn)
             )
-            self.processor.reply(message, "prepare-reply", {"ok": True})
+            # The yes vote is 2PC's participant force point: the
+            # prepare record must be durable before the vote leaves,
+            # or a crash could silently forget it.  With a nonzero
+            # sync cost the reply waits out the force write in a
+            # spawned process; at zero cost it goes out immediately.
+            self.processor.store.record_prepare(
+                txn, message.payload["objects"])
+            sync_cost = self.config.storage_sync_cost
+            if sync_cost > 0:
+                self.processor.spawn(
+                    f"prepare-sync{txn}",
+                    self._delayed_reply(sync_cost, message, "prepare-reply",
+                                        {"ok": True}))
+            else:
+                self.processor.reply(message, "prepare-reply", {"ok": True})
         else:
             self.processor.reply(message, "prepare-reply",
                                  {"ok": False, "reason": verdict})
+
+    def _delayed_reply(self, delay: float, message, kind: str, payload):
+        """Reply after ``delay`` — models a forced write gating an ack."""
+        yield self.sim.timeout(delay)
+        self.processor.reply(message, kind, payload)
 
     def _vote(self, txn, payload) -> str | None:
         """R4 vote; None means yes, otherwise the refusal reason."""
@@ -536,6 +578,9 @@ class AccessMixin:
             # through the decision log; end_transaction honours it).
             outcome = "abort"
             self._decisions[txn] = "abort"
+            # Journalled as a forced decision record (its sync latency
+            # is absorbed by the status reply already in flight).
+            self.processor.store.record_decision(txn, "abort")
         self.processor.reply(message, "txn-status-reply",
                              {"outcome": outcome})
 

@@ -67,6 +67,21 @@ class ProtocolConfig:
     #: a processor with a large phase is "slow to detect" failures (§4's
     #: stale-read discussion).  None = everyone probes immediately.
     probe_phase: Optional[Callable[[int], float]] = None
+    #: model time one WAL append costs (a physical write journalling its
+    #: record before acknowledging); 0 = free, as the paper assumes
+    storage_append_cost: float = 0.0
+    #: model time one *forced* sync costs — charged at the 2PC
+    #: force-write points: the participant's prepare record, the
+    #: coordinator's decision-log entry before any decide leaves, and
+    #: the durable ``max-id`` bump at partition creation
+    storage_sync_cost: float = 0.0
+    #: auto-checkpoint the storage engine every N WAL appends (0 = off);
+    #: checkpoints truncate the journal and, with ``log_retain`` set,
+    #: compact the per-copy §6 write logs
+    checkpoint_every: int = 0
+    #: per-copy write-log entries retained at compaction (None = keep
+    #: everything — the seed behaviour; unbounded log memory)
+    log_retain: Optional[int] = None
 
     def __post_init__(self):
         if self.delta <= 0:
@@ -90,6 +105,20 @@ class ProtocolConfig:
                 f"delta={self.delta}]: a longer hold could push arrivals "
                 "past the bound the protocol's timers are derived from"
             )
+        if self.storage_append_cost < 0 or self.storage_sync_cost < 0:
+            raise ValueError("storage costs must be non-negative")
+        if self.storage_sync_cost > self.delta:
+            raise ValueError(
+                f"storage_sync_cost={self.storage_sync_cost} must not "
+                f"exceed delta={self.delta}: the 2delta/3delta protocol "
+                "timers budget one forced write per message round"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0: {self.checkpoint_every}")
+        if self.log_retain is not None and self.log_retain < 1:
+            raise ValueError(
+                f"log_retain must be None or >= 1: {self.log_retain}")
 
     # -- derived constants -------------------------------------------------
 
@@ -106,13 +135,28 @@ class ProtocolConfig:
 
     @property
     def invite_wait(self) -> float:
-        """Fig. 5 line 5: the initiator collects accepts for 2δ."""
-        return 2 * self.delta + self.timer_slack
+        """Fig. 5 line 5: the initiator collects accepts for 2δ.
+
+        Plus one forced-write budget: an acceptor durably bumps its
+        ``max-id`` before its acceptance leaves (see vp_monitor), so
+        with a nonzero sync cost a bare 2δ window would systematically
+        exclude correct acceptors.
+        """
+        return 2 * self.delta + self.storage_sync_cost + self.timer_slack
 
     @property
     def commit_wait(self) -> float:
-        """Fig. 6 line 9: an acceptor waits 3δ for the commit."""
-        return 3 * self.delta + 2 * self.timer_slack
+        """Fig. 6 line 9: an acceptor waits 3δ for the commit.
+
+        Plus one forced-write budget: the timer starts when the
+        invitation is processed, but the acceptance only *leaves* after
+        the acceptor's durable max-id bump (see vp_monitor), so the
+        initiator's commit is up to one sync later than a bare 3δ
+        allows.  Without the budget, an acceptor whose invitation
+        arrived quickly times out just before the commit lands and
+        starts a fresh creation — re-forming the same view every round.
+        """
+        return 3 * self.delta + self.storage_sync_cost + 2 * self.timer_slack
 
     @property
     def probe_ack_wait(self) -> float:

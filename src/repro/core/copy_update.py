@@ -29,6 +29,8 @@ for writing.
 
 from __future__ import annotations
 
+from ..node.storage import LogTruncated
+
 
 #: sentinel returned by ``_read_sources`` when a source copy is
 #: temporarily unusable (in-doubt 2PC write) but the view itself is
@@ -136,11 +138,22 @@ class UpdateMixin:
             if results is None:
                 # Fig. 9 line 12's [no-response]: the view is wrong;
                 # leave the object locked — the next partition's update
-                # (with a fresh locked set) takes over.
-                self.create_new_vp()
+                # (with a fresh locked set) takes over.  Actionable only
+                # while we still stand in the partition the evidence was
+                # gathered in: once a newer generation superseded this
+                # one, the silence (or a "wrong-partition" refusal from
+                # a source that already moved on) says nothing about the
+                # *current* view — reacting to it mints a partition per
+                # generation and the views never settle.
+                if state.assigned and state.cur_id == old_id:
+                    self.create_new_vp()
                 return
             for payload in results:
                 units += payload.get("units", 0)
+                if payload.get("truncated"):
+                    # the source compacted past our date; it shipped the
+                    # whole value instead of log entries
+                    self.metrics.catchup_fallbacks += 1
                 date = payload["date"]
                 if self._date_newer(date, best[0]):
                     best = (date, payload["value"], payload["version"])
@@ -278,15 +291,27 @@ class UpdateMixin:
         store = self.processor.store
         value, date = store.peek(obj)
         version = store.version(obj)
+        truncated = False
         if payload["mode"] == "log":
-            entries = store.log_since(obj, payload["after"])
-            units = len(entries)
+            try:
+                entries = store.log_since(obj, payload["after"])
+                units = len(entries)
+            except LogTruncated:
+                # Compaction discarded entries the requester would need
+                # (its copy predates the retained floor).  §6's log
+                # catch-up degrades gracefully to Fig. 9's full-object
+                # transfer — correctness never depends on log history,
+                # only the transfer cost does.
+                entries = None
+                units = store.size(obj)
+                truncated = True
         else:
             entries = None
             units = store.size(obj)
         self.processor.reply(message, "vpread-reply", {
             "ok": True, "value": value, "date": date,
             "version": version, "entries": entries, "units": units,
+            "truncated": truncated,
         })
 
     # ------------------------------------------------------------------

@@ -51,7 +51,8 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         self.history = history
         self.all_pids = frozenset(all_pids)
         self._latency = latency
-        self.state = ReplicaState(self.pid, self.sim, history)
+        self.state = ReplicaState(self.pid, self.sim, history,
+                                  store=processor.store)
         self.cc = make_cc(config, self.sim, label=f"p{self.pid}.cc")
         self.metrics = ProtocolMetrics()
         #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
@@ -136,9 +137,14 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         # The decision log survives the crash (real coordinators force-
         # write it); entries still undecided can never have sent a
         # decide, so crashing finalizes them as the presumed abort.
+        # The finalization is journalled (unforced — it is a recovery
+        # re-interpretation, not a new force point) so WAL replay
+        # rebuilds the same decision log.
         for txn, outcome in list(self._decisions.items()):
             if outcome == "undecided":
                 self._decisions[txn] = "abort"
+                self.processor.store.record_decision(txn, "abort",
+                                                     forced=False)
         self.cc = make_cc(self.config, self.sim, label=f"p{self.pid}.cc")
         self._wire_cc_tracer()
         self.state.reset_volatile()

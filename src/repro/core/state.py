@@ -9,7 +9,11 @@ functions::
 ``max_id`` is kept durable (a crash-surviving cell): identifiers must
 keep growing across crashes or a recovering processor could mint an
 id it already used, breaking the total order's role as a creation
-order.  Everything else is volatile and reset by a crash.
+order.  When the processor's storage engine is supplied, the cell is
+allocated from it — every bump is then a journalled, *forced* WAL
+write (the paper's durable ``max-id`` made explicit, and one of the
+protocol's forced-write cost points).  Everything else is volatile and
+reset by a crash.
 
 Critical sections (the ``< ... >`` brackets of the pseudocode) need no
 explicit locks here: protocol tasks only interleave at ``yield`` points,
@@ -29,7 +33,7 @@ from .ids import VpId, initial_vp_id
 class ReplicaState:
     """Fig. 3's shared variables, plus bookkeeping for §6 optimizations."""
 
-    def __init__(self, pid: int, sim: Simulator, history=None):
+    def __init__(self, pid: int, sim: Simulator, history=None, store=None):
         self.pid = pid
         self.sim = sim
         self.history = history
@@ -37,7 +41,12 @@ class ReplicaState:
         self.tracer = None
         boot_id = initial_vp_id(pid)
         self.cur_id: VpId = boot_id
-        self._max_id = DurableCell(boot_id)     # durable across crashes
+        # durable across crashes; journalled through the storage engine
+        # when one is supplied (plain cell otherwise, e.g. in unit tests)
+        if store is not None and hasattr(store, "durable_cell"):
+            self._max_id = store.durable_cell("max-id", boot_id)
+        else:
+            self._max_id = DurableCell(boot_id)
         self.assigned: bool = True
         self.lview: Set[int] = {pid}
         self.locked: Set[str] = set()

@@ -49,6 +49,12 @@ class CreationMixin:
         """Fig. 5: invite, collect accepts for 2δ, commit the view."""
         state = self.state
         self.metrics.vp_created += 1
+        # The max-id bump that minted ``new_id`` is a forced write (the
+        # durable cell journals it — identifiers must survive crashes);
+        # its sync cost delays the invitations.
+        sync_cost = self.config.storage_sync_cost
+        if sync_cost > 0:
+            yield self.sim.timeout(sync_cost)
         others = sorted(p for p in self.all_pids if p != self.pid)
         if self.tracer is not None:
             self.tracer.emit("vp.invite", pid=self.pid, vpid=new_id,

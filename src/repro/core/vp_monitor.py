@@ -34,16 +34,23 @@ class MonitorMixin:
                     info = self._previous_info()
                     state.max_id = invited_id
                     state.depart()
-                    if self.tracer is not None:
-                        self.tracer.emit("vp.accept", pid=self.pid,
-                                         vpid=invited_id,
-                                         initiator=invited_id.pid)
-                    self.processor.send(invited_id.pid, "vp-accept", {
-                        "id": invited_id,
-                        "from": self.pid,
-                        "previous": info[0],
-                        "prev_accessible": sorted(info[1]),
-                    })
+                    # The durable max-id bump is forced before the
+                    # acceptance leaves: a crash after accepting must
+                    # not let this processor mint or accept ids below
+                    # ``invited_id`` again.  The sync delays only this
+                    # acceptance (a spawned delayed send), never the
+                    # monitor loop itself: with concurrent initiators a
+                    # blocking sync here would stack one forced write
+                    # per invitation onto later accepts and push them
+                    # past the initiators' invite_wait window (which
+                    # budgets exactly one).
+                    sync_cost = self.config.storage_sync_cost
+                    if sync_cost > 0:
+                        self.processor.spawn(
+                            f"accept-sync{invited_id}",
+                            self._delayed_accept(sync_cost, invited_id, info))
+                    else:
+                        self._send_accept(invited_id, info)
                     timer.set(self.config.commit_wait)
 
             elif commit_get in fired:
@@ -67,3 +74,20 @@ class MonitorMixin:
                                      vpid=state.max_id)
                 state.max_id = state.max_id.successor(self.pid)
                 self.schedule_create_vp(state.max_id)
+
+    def _send_accept(self, invited_id, info):
+        if self.tracer is not None:
+            self.tracer.emit("vp.accept", pid=self.pid,
+                             vpid=invited_id,
+                             initiator=invited_id.pid)
+        self.processor.send(invited_id.pid, "vp-accept", {
+            "id": invited_id,
+            "from": self.pid,
+            "previous": info[0],
+            "prev_accessible": sorted(info[1]),
+        })
+
+    def _delayed_accept(self, delay, invited_id, info):
+        """Send the acceptance once its forced write completes."""
+        yield self.sim.timeout(delay)
+        self._send_accept(invited_id, info)

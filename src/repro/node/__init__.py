@@ -1,13 +1,30 @@
 """Processor runtime: task hosting, mailboxes, RPC, durable storage."""
 
 from .processor import NoResponse, Processor
-from .storage import Copy, CopyStore, DurableCell, LogEntry
+from .storage import (
+    Copy,
+    CopyStore,
+    DurableCell,
+    LogEntry,
+    LogTruncated,
+    StorageEngine,
+    StoragePolicy,
+    StorageStats,
+    WalRecord,
+    WriteAheadLog,
+)
 
 __all__ = [
     "Copy",
     "CopyStore",
     "DurableCell",
     "LogEntry",
+    "LogTruncated",
     "NoResponse",
     "Processor",
+    "StorageEngine",
+    "StoragePolicy",
+    "StorageStats",
+    "WalRecord",
+    "WriteAheadLog",
 ]

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, Iterable, Mapping, Optional
 from ..net.message import Message
 from ..net.network import Network
 from ..sim import MessageQueue, Process, Simulator, Timer
-from .storage import CopyStore
+from .storage import StorageEngine
 from .transport import (  # noqa: F401  (NoResponse re-exported)
     NoResponse, QuorumPredicate, ScatterCall, TransportStats,
 )
@@ -30,14 +30,19 @@ TaskFactory = Callable[[], Any]  # returns a generator
 class Processor:
     """One node of the distributed system."""
 
-    def __init__(self, pid: int, sim: Simulator, network: Network):
+    def __init__(self, pid: int, sim: Simulator, network: Network,
+                 store: Optional[StorageEngine] = None):
         self.pid = pid
         self.sim = sim
         self.network = network
-        self.store = CopyStore(pid)
+        #: durable storage — survives crashes; the cluster may supply an
+        #: engine configured with checkpoint/compaction policy
+        self.store = store if store is not None else StorageEngine(pid)
         self.alive = True
         #: fan-out accounting for the shared transport primitives
         self.transport = TransportStats()
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
         self._mailboxes: Dict[str, MessageQueue] = {}
         self._reply_waiters: Dict[int, Any] = {}
         self._task_factories: Dict[str, TaskFactory] = {}
@@ -183,7 +188,14 @@ class Processor:
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(message)
                 return
-            # Late or duplicate reply: nobody is waiting; drop it.
+            # Late or duplicate reply: nobody is waiting; drop it — but
+            # visibly.  A steady stream of late replies means timeouts
+            # are tuned below the real round-trip time.
+            self.transport.late_replies += 1
+            if self.tracer is not None:
+                self.tracer.emit("msg.late-reply", pid=self.pid,
+                                 src=message.src, kind=message.kind,
+                                 reply_to=message.reply_to)
             return
         self.mailbox(message.kind).put(message)
 

@@ -1,0 +1,51 @@
+"""Durable per-processor storage, as a layered engine.
+
+* :mod:`~repro.node.storage.store` — the materialized copy table
+  (:class:`CopyStore`): values, dates, versions, §6 write logs;
+* :mod:`~repro.node.storage.wal` — the typed append-only write-ahead
+  log (:class:`WriteAheadLog`) every durable mutation is journalled to;
+* :mod:`~repro.node.storage.checkpoint` — snapshots and per-copy log
+  compaction with retained-floor tracking;
+* :mod:`~repro.node.storage.engine` — :class:`StorageEngine`, the
+  ``CopyStore``-compatible facade processors actually hold, plus the
+  :class:`StoragePolicy` knobs and :class:`StorageStats` counters.
+
+``from repro.node.storage import CopyStore`` keeps working: the
+original flat module became this package, and every public name is
+re-exported here.
+"""
+
+from .checkpoint import NO_FLOOR, Checkpoint, CopySnapshot
+from .engine import (
+    DEFAULT_POLICY,
+    EngineCell,
+    StorageEngine,
+    StoragePolicy,
+    StorageStats,
+)
+from .store import Copy, CopyStore, DurableCell, LogEntry
+from .wal import (
+    RECORD_KINDS,
+    LogTruncated,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "Checkpoint",
+    "Copy",
+    "CopySnapshot",
+    "CopyStore",
+    "DEFAULT_POLICY",
+    "DurableCell",
+    "EngineCell",
+    "LogEntry",
+    "LogTruncated",
+    "NO_FLOOR",
+    "RECORD_KINDS",
+    "StorageEngine",
+    "StoragePolicy",
+    "StorageStats",
+    "WalRecord",
+    "WriteAheadLog",
+]

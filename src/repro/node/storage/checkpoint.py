@@ -1,0 +1,127 @@
+"""Checkpoints and per-copy log compaction.
+
+A checkpoint is an immutable snapshot of everything durable — the
+materialized copies (with their retained write logs and compaction
+floors), the durable cells, and the decision log — anchored at a WAL
+LSN.  Recovery restores the snapshot and replays the WAL tail after
+that LSN; the WAL prefix the snapshot captures can be discarded.
+
+Compaction bounds the §6 write logs: at checkpoint time each copy's
+log is trimmed to its newest ``retain`` entries, and the date of the
+newest *discarded* entry becomes the copy's **retained floor**.  A
+``log_since(obj, after)`` with ``after`` below the floor can no longer
+be answered exactly — the engine raises :class:`~repro.node.storage.
+wal.LogTruncated` and the catch-up path falls back to a full-object
+transfer (the §6 trade made explicit: bounded log memory against
+occasionally shipping the whole object).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .store import Copy, CopyStore, LogEntry
+
+
+@dataclass(frozen=True)
+class CopySnapshot:
+    """One copy's durable state at checkpoint time."""
+
+    obj: str
+    value: Any
+    date: Any
+    version: Any
+    size: int
+    #: the retained (possibly compacted) write log, oldest first
+    log: Tuple[LogEntry, ...]
+    #: newest compacted-away date; ``NO_FLOOR`` = log complete
+    floor: Any
+
+
+#: sentinel distinguishing "never compacted" from a ``None``-dated floor
+#: (the initial placement entry carries ``date=None`` and can itself be
+#: compacted away)
+NO_FLOOR = object()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Everything durable, frozen at WAL position ``lsn``."""
+
+    lsn: int
+    copies: Tuple[CopySnapshot, ...]
+    cells: Tuple[Tuple[str, Any], ...]
+    decisions: Tuple[Tuple[Any, str], ...]
+
+
+EMPTY_CHECKPOINT = Checkpoint(lsn=0, copies=(), cells=(), decisions=())
+
+
+def snapshot_copies(store: CopyStore,
+                    floors: Dict[str, Any]) -> Tuple[CopySnapshot, ...]:
+    """Freeze every copy of ``store`` (sorted by object name)."""
+    snaps = []
+    for obj in sorted(store.local_objects):
+        copy = store._get(obj)
+        snaps.append(CopySnapshot(
+            obj=obj, value=copy.value, date=copy.date,
+            version=copy.version, size=copy.size,
+            log=tuple(copy.log),
+            floor=floors.get(obj, NO_FLOOR),
+        ))
+    return tuple(snaps)
+
+
+def restore_copies(pid: int, copies: Tuple[CopySnapshot, ...]
+                   ) -> Tuple[CopyStore, Dict[str, Any]]:
+    """Rebuild a materialized store (and its floors) from snapshots."""
+    store = CopyStore(pid)
+    floors: Dict[str, Any] = {}
+    for snap in copies:
+        store.place(snap.obj, initial=snap.value, date=snap.date,
+                    size=snap.size, version=snap.version)
+        copy = store._get(snap.obj)
+        copy.log = list(snap.log)
+        if snap.floor is not NO_FLOOR:
+            floors[snap.obj] = snap.floor
+    return store, floors
+
+
+def compact_copy(copy: Copy, retain: int,
+                 current_floor: Any = NO_FLOOR) -> Tuple[int, Any]:
+    """Trim ``copy.log`` to its newest ``retain`` entries.
+
+    Returns ``(discarded_count, new_floor)`` where the floor is the
+    date of the newest discarded entry (logs are append-ordered, so
+    that is the largest date compacted away).  With nothing to discard
+    the existing floor is kept.
+    """
+    if retain < 1:
+        raise ValueError(f"retain must be at least 1: {retain}")
+    excess = len(copy.log) - retain
+    if excess <= 0:
+        return 0, current_floor
+    discarded = copy.log[:excess]
+    copy.log = copy.log[excess:]
+    return excess, discarded[-1].date
+
+
+def compact_store(store: CopyStore, retain: Optional[int],
+                  floors: Dict[str, Any]) -> int:
+    """Compact every copy's log in place; updates ``floors``.
+
+    Returns the total number of discarded entries.  ``retain=None``
+    (compaction disabled) is a no-op.
+    """
+    if retain is None:
+        return 0
+    total = 0
+    for obj in sorted(store.local_objects):
+        copy = store._get(obj)
+        dropped, floor = compact_copy(copy, retain,
+                                      floors.get(obj, NO_FLOOR))
+        total += dropped
+        if floor is not NO_FLOOR:
+            floors[obj] = floor
+    return total

@@ -1,0 +1,399 @@
+"""The durable storage engine: WAL + checkpoints over the copy table.
+
+:class:`StorageEngine` is what a :class:`~repro.node.processor.
+Processor` exposes as ``.store``.  It preserves the original
+:class:`~repro.node.storage.store.CopyStore` API exactly — ``place`` /
+``read`` / ``write`` / ``install`` / ``log_since`` / ``apply_log`` and
+friends keep their semantics — so the protocol layers above migrate
+without change, while every mutation is additionally journalled into a
+typed write-ahead log:
+
+* crash recovery is replay: :meth:`rebuilt` restores the last
+  checkpoint and replays the WAL tail, reproducing the pre-crash
+  durable state bit for bit (``tests/integration/test_crash_replay.py``);
+* checkpoints bound the journal, and per-copy **log compaction**
+  (``StoragePolicy.log_retain``) bounds the §6 write logs — after
+  compaction, :meth:`log_since` raises :class:`~repro.node.storage.wal.
+  LogTruncated` for requests reaching below the retained floor instead
+  of silently returning a partial history;
+* the 2PC force-write points (prepare records, decision-log entries,
+  ``max-id`` bumps) are journalled as *forced* records, giving the
+  protocol layer an explicit durability cost model to charge
+  (``ProtocolConfig.storage_append_cost`` / ``storage_sync_cost``) and
+  :class:`StorageStats` the counters observability reports.
+
+With the default policy (no auto-checkpoints, no compaction) the
+engine is behaviourally identical to the bare ``CopyStore`` it wraps —
+pinned by ``tests/node/test_storage_engine.py`` and the trace-identity
+property in ``tests/properties/test_storage_transparency.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from .checkpoint import (
+    EMPTY_CHECKPOINT,
+    NO_FLOOR,
+    Checkpoint,
+    compact_store,
+    restore_copies,
+    snapshot_copies,
+)
+from .store import CopyStore, DurableCell, LogEntry
+from .wal import (
+    REC_APPLY,
+    REC_CELL,
+    REC_DECISION,
+    REC_INSTALL,
+    REC_PLACE,
+    REC_PREPARE,
+    REC_WRITE,
+    LogTruncated,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+@dataclass(frozen=True)
+class StoragePolicy:
+    """Checkpoint/compaction knobs (derived from ``ProtocolConfig``)."""
+
+    #: auto-checkpoint after this many WAL appends (0 = manual only)
+    checkpoint_every: int = 0
+    #: per-copy log entries kept at compaction (None = never compact)
+    log_retain: Optional[int] = None
+
+    def __post_init__(self):
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0: {self.checkpoint_every}")
+        if self.log_retain is not None and self.log_retain < 1:
+            raise ValueError(
+                f"log_retain must be None or >= 1: {self.log_retain}")
+
+
+DEFAULT_POLICY = StoragePolicy()
+
+
+@dataclass
+class StorageStats:
+    """Durability cost accounting (cumulative, crash-proof)."""
+
+    #: WAL records appended (forced ones included)
+    wal_appends: int = 0
+    #: appends that were force-synced (2PC force-write points)
+    forced_syncs: int = 0
+    #: checkpoints taken (manual + automatic)
+    checkpoints: int = 0
+    #: per-copy log entries discarded by compaction
+    compacted_entries: int = 0
+    #: ``log_since`` requests refused below the compaction floor
+    truncated_reads: int = 0
+    #: WAL records replayed by :meth:`StorageEngine.rebuilt`
+    replayed_records: int = 0
+    #: estimated bytes replayed at recovery
+    replayed_bytes: int = 0
+
+
+class EngineCell(DurableCell):
+    """A durable cell whose writes are journalled by the engine."""
+
+    def __init__(self, engine: "StorageEngine", name: str, initial: Any):
+        super().__init__(initial)
+        self._engine = engine
+        self._name = name
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @value.setter
+    def value(self, new: Any) -> None:
+        self._value = new
+        self._engine._journal(REC_CELL, forced=True,
+                              cell=self._name, value=new)
+
+
+class StorageEngine:
+    """Per-processor durable storage: the ``CopyStore`` facade over a WAL."""
+
+    def __init__(self, pid: int, policy: StoragePolicy = DEFAULT_POLICY):
+        self.pid = pid
+        self.policy = policy
+        self.wal = WriteAheadLog()
+        self.stats = StorageStats()
+        self._store = CopyStore(pid)
+        #: per-object compaction floor (absent key = log complete)
+        self._floors: Dict[str, Any] = {}
+        self._cells: Dict[str, DurableCell] = {}
+        #: journalled coordinator decisions (txn -> latest outcome)
+        self._decisions: Dict[Any, str] = {}
+        self._checkpoint: Checkpoint = EMPTY_CHECKPOINT
+        self._appends_since_checkpoint = 0
+        self._replaying = False
+
+    # -- journalling --------------------------------------------------------
+
+    def _journal(self, kind: str, *, forced: bool = False,
+                 **fields: Any) -> Optional[WalRecord]:
+        if self._replaying:
+            return None
+        record = self.wal.append(kind, forced=forced, **fields)
+        self.stats.wal_appends += 1
+        if forced:
+            self.stats.forced_syncs += 1
+        self._appends_since_checkpoint += 1
+        every = self.policy.checkpoint_every
+        if every and self._appends_since_checkpoint >= every:
+            self.checkpoint()
+        return record
+
+    # -- CopyStore facade: placement ----------------------------------------
+
+    def place(self, obj: str, initial: Any = None, date: Any = None,
+              size: int = 1, version: Any = None) -> None:
+        self._store.place(obj, initial=initial, date=date, size=size,
+                          version=version)
+        self._journal(REC_PLACE, obj=obj, value=initial, date=date,
+                      size=size, version=version)
+
+    def holds(self, obj: str) -> bool:
+        return self._store.holds(obj)
+
+    @property
+    def local_objects(self) -> set:
+        return self._store.local_objects
+
+    # -- CopyStore facade: access -------------------------------------------
+
+    def read(self, obj: str):
+        return self._store.read(obj)
+
+    def write(self, obj: str, value: Any, date: Any,
+              version: Any = None) -> None:
+        self._store.write(obj, value, date, version)
+        self._journal(REC_WRITE, obj=obj, value=value, date=date,
+                      version=version)
+
+    def peek(self, obj: str):
+        return self._store.peek(obj)
+
+    def date(self, obj: str) -> Any:
+        return self._store.date(obj)
+
+    def version(self, obj: str) -> Any:
+        return self._store.version(obj)
+
+    def size(self, obj: str) -> int:
+        return self._store.size(obj)
+
+    @property
+    def reads(self) -> Dict[str, int]:
+        return self._store.reads
+
+    @property
+    def writes(self) -> Dict[str, int]:
+        return self._store.writes
+
+    # -- CopyStore facade: recovery support ---------------------------------
+
+    def install(self, obj: str, value: Any, date: Any,
+                version: Any = None) -> None:
+        self._store.install(obj, value, date, version)
+        self._journal(REC_INSTALL, obj=obj, value=value, date=date,
+                      version=version)
+
+    def log_since(self, obj: str, after: Any) -> List[LogEntry]:
+        """As ``CopyStore.log_since``, but truncation-aware.
+
+        Raises :class:`LogTruncated` when compaction may have discarded
+        entries the answer should contain: the full history was
+        requested (``after=None``) of a compacted log, or ``after``
+        lies below the retained floor.  A ``None``-dated floor (only
+        the initial placement entry was discarded) still answers any
+        dated ``after`` exactly, since ``None``-dated entries are never
+        part of a dated answer.
+        """
+        floor = self._floors.get(obj, NO_FLOOR)
+        if floor is not NO_FLOOR:
+            if after is None or (floor is not None and after < floor):
+                self.stats.truncated_reads += 1
+                raise LogTruncated(obj, after, floor)
+        return self._store.log_since(obj, after)
+
+    def apply_log(self, obj: str, entries: Iterable[LogEntry]) -> int:
+        """As ``CopyStore.apply_log``; each applied entry is journalled."""
+        applied = 0
+        for entry in entries:
+            current = self._store.date(obj)
+            if current is None or (entry.date is not None
+                                   and entry.date > current):
+                self._store.install(obj, entry.value, entry.date,
+                                    entry.version)
+                self._journal(REC_APPLY, obj=obj, value=entry.value,
+                              date=entry.date, version=entry.version)
+                applied += 1
+        return applied
+
+    def compaction_floor(self, obj: str) -> Any:
+        """The copy's retained floor, or ``NO_FLOOR`` if never compacted."""
+        return self._floors.get(obj, NO_FLOOR)
+
+    # -- durable cells -------------------------------------------------------
+
+    def durable_cell(self, name: str, initial: Any = None) -> DurableCell:
+        """A named crash-surviving scalar, journalled on every write.
+
+        Re-requesting an existing name returns the live cell (its
+        current value wins over ``initial``), so recovery hooks can
+        reacquire their cells idempotently.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = EngineCell(self, name, initial)
+            self._cells[name] = cell
+            self._journal(REC_CELL, cell=name, value=initial)
+        return cell
+
+    # -- 2PC force-write points ---------------------------------------------
+
+    def record_prepare(self, txn: Any, objects: Any = None) -> None:
+        """Journal a participant's yes-vote prepare record (forced)."""
+        self._journal(REC_PREPARE, forced=True, txn=txn,
+                      value=sorted(objects) if objects else None)
+
+    def record_decision(self, txn: Any, outcome: str,
+                        forced: bool = True) -> None:
+        """Journal a coordinator decision-log entry.
+
+        ``forced=True`` for real decisions (the force-write before any
+        decide message leaves); the ``undecided`` log-entry open and
+        crash-time presumed-abort finalization ride unforced.
+        """
+        self._decisions[txn] = outcome
+        self._journal(REC_DECISION, forced=forced, txn=txn,
+                      outcome=outcome)
+
+    @property
+    def decisions(self) -> Dict[Any, str]:
+        """The journalled decision log (read-only view for recovery)."""
+        return dict(self._decisions)
+
+    # -- checkpoints and compaction -------------------------------------------
+
+    def checkpoint(self, compact: Optional[bool] = None) -> Checkpoint:
+        """Snapshot all durable state and truncate the journalled prefix.
+
+        Compaction (when the policy enables it, or ``compact=True``)
+        runs *before* the snapshot so the checkpoint captures the
+        trimmed logs and their floors.
+        """
+        do_compact = (self.policy.log_retain is not None
+                      if compact is None else compact)
+        if do_compact and self.policy.log_retain is not None:
+            self.stats.compacted_entries += compact_store(
+                self._store, self.policy.log_retain, self._floors)
+        snap = Checkpoint(
+            lsn=self.wal.tail_lsn,
+            copies=snapshot_copies(self._store, self._floors),
+            cells=tuple((name, cell.value) for name, cell
+                        in sorted(self._cells.items())),
+            decisions=tuple(sorted(self._decisions.items(), key=repr)),
+        )
+        self.wal.truncate_through(snap.lsn)
+        self._checkpoint = snap
+        self._appends_since_checkpoint = 0
+        self.stats.checkpoints += 1
+        return snap
+
+    @property
+    def last_checkpoint(self) -> Checkpoint:
+        return self._checkpoint
+
+    def retained_entries(self) -> int:
+        """Total write-log entries currently held across all copies."""
+        return sum(len(self._store._get(obj).log)
+                   for obj in self._store.local_objects)
+
+    # -- crash recovery -------------------------------------------------------
+
+    def rebuilt(self) -> "StorageEngine":
+        """A fresh engine recovered from checkpoint + WAL replay.
+
+        This is the honest crash-recovery model: nothing of the live
+        materialized state is reused — the snapshot is restored and the
+        replay tail applied on top.  The recovered engine finishes with
+        a fresh (uncompacted) checkpoint of its rebuilt state, like a
+        real recovery would, so its own journal starts clean.
+        """
+        engine = StorageEngine(self.pid, self.policy)
+        engine._replaying = True
+        try:
+            checkpoint = self._checkpoint
+            engine._store, engine._floors = restore_copies(
+                self.pid, checkpoint.copies)
+            for name, value in checkpoint.cells:
+                engine._cells[name] = EngineCell(engine, name, value)
+            engine._decisions = dict(checkpoint.decisions)
+            for record in self.wal.records_after(checkpoint.lsn):
+                engine._replay(record)
+                engine.stats.replayed_records += 1
+                engine.stats.replayed_bytes += record.cost_bytes()
+        finally:
+            engine._replaying = False
+        engine.checkpoint(compact=False)
+        return engine
+
+    def _replay(self, record: WalRecord) -> None:
+        store = self._store
+        if record.kind == REC_PLACE:
+            store.place(record.obj, initial=record.value, date=record.date,
+                        size=record.size or 1, version=record.version)
+        elif record.kind in (REC_WRITE, REC_INSTALL, REC_APPLY):
+            # install reproduces exactly what write/install/apply_log
+            # left behind: value, date, version, and one log entry —
+            # without re-counting transaction writes.
+            store.install(record.obj, record.value, record.date,
+                          record.version)
+        elif record.kind == REC_CELL:
+            cell = self._cells.get(record.cell)
+            if cell is None:
+                self._cells[record.cell] = EngineCell(
+                    self, record.cell, record.value)
+            else:
+                cell._value = record.value
+        elif record.kind == REC_DECISION:
+            self._decisions[record.txn] = record.outcome
+        elif record.kind == REC_PREPARE:
+            pass  # participant-volatile bookkeeping; nothing materialized
+        else:  # pragma: no cover - append() validates kinds
+            raise ValueError(f"unknown WAL record kind {record.kind!r}")
+
+    def durable_snapshot(self) -> dict:
+        """Canonical durable state, for recovery-equality assertions."""
+        copies = {}
+        for obj in sorted(self._store.local_objects):
+            copy = self._store._get(obj)
+            copies[obj] = {
+                "value": copy.value,
+                "date": copy.date,
+                "version": copy.version,
+                "size": copy.size,
+                "log": tuple((e.date, e.value, e.version)
+                             for e in copy.log),
+            }
+        return {
+            "copies": copies,
+            "floors": {obj: self._floors[obj]
+                       for obj in sorted(self._floors)},
+            "cells": {name: cell.value
+                      for name, cell in sorted(self._cells.items())},
+            "decisions": dict(self._decisions),
+        }
+
+    def __repr__(self) -> str:
+        return (f"StorageEngine(pid={self.pid}, "
+                f"objects={sorted(self._store.local_objects)}, "
+                f"wal={len(self.wal)} records)")

@@ -1,4 +1,4 @@
-"""Durable per-processor storage for physical copies.
+"""The materialized copy table: physical copies, dates, and write logs.
 
 Each processor stores, for every logical object it replicates (Fig. 3's
 ``local`` set and §5's ``value``/``date`` functions):
@@ -11,8 +11,14 @@ Each processor stores, for every logical object it replicates (Fig. 3's
   missing-writes catch-up optimization (ship only the writes the copy
   missed, instead of the whole object).
 
-Storage is *durable*: it survives processor crashes.  Only the protocol
-tasks' volatile state (views, partition assignment) is lost on a crash.
+:class:`CopyStore` is the in-memory *materialized* layer of the storage
+engine — the state the paper's ``value``/``date`` functions read.  What
+makes storage durable is the layer above it: :class:`~repro.node.
+storage.engine.StorageEngine` journals every mutation into a write-ahead
+log and can rebuild an identical ``CopyStore`` from checkpoint + replay
+(see :mod:`repro.node.storage.wal` and :mod:`repro.node.storage.
+checkpoint`).  Only the protocol tasks' volatile state (views, partition
+assignment) is lost on a crash.
 """
 
 from __future__ import annotations

@@ -1,0 +1,157 @@
+"""The typed append-only write-ahead log.
+
+Every durable mutation a processor performs — copy writes, recovery
+installs, log catch-ups, decision-log entries, prepare records, and
+durable-cell bumps (``max-id``) — is journalled here as one typed,
+LSN-stamped record *before* it is considered durable.  Crash recovery
+is then honest by construction: load the last checkpoint, replay the
+records after its LSN, and the rebuilt state equals the pre-crash
+durable state (pinned by ``tests/integration/test_crash_replay.py``).
+
+Records are either plain **appends** (copy writes ride on the next
+group sync) or **forced** (the 2PC force-write points: a participant's
+prepare record, the coordinator's decision-log entry, a ``max-id``
+bump).  Gray & Lamport's *Consensus on Transaction Commit* makes those
+forced writes the central cost metric of a commit protocol; the
+protocol layer charges ``ProtocolConfig.storage_sync_cost`` model time
+at each one, and :class:`~repro.node.storage.engine.StorageStats`
+counts both kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+# -- record kinds -----------------------------------------------------------
+
+#: a copy was created (``CopyStore.place``)
+REC_PLACE = "place"
+#: a transaction's physical write (``CopyStore.write``)
+REC_WRITE = "write"
+#: a recovery overwrite (``CopyStore.install``, R5)
+REC_INSTALL = "install"
+#: one missed log entry applied during §6 catch-up (``apply_log``)
+REC_APPLY = "apply"
+#: a durable scalar cell changed (e.g. the protocol's ``max-id``)
+REC_CELL = "cell"
+#: a coordinator decision-log entry (undecided / commit / abort)
+REC_DECISION = "decision"
+#: a participant's yes-vote prepare record (2PC uncertainty window)
+REC_PREPARE = "prepare"
+
+RECORD_KINDS = frozenset({
+    REC_PLACE, REC_WRITE, REC_INSTALL, REC_APPLY,
+    REC_CELL, REC_DECISION, REC_PREPARE,
+})
+
+
+class LogTruncated(LookupError):
+    """A ``log_since`` request reaches below the compaction floor.
+
+    Entries with dates at or below the floor were compacted away, so a
+    partial answer would silently miss writes — the §6 catch-up must
+    fall back to a full-object transfer instead (see
+    ``core/copy_update.py``).
+    """
+
+    def __init__(self, obj: str, after: Any, floor: Any):
+        super().__init__(
+            f"log of {obj!r} truncated: entries after {after!r} are "
+            f"incomplete below the compaction floor {floor!r}"
+        )
+        self.obj = obj
+        self.after = after
+        self.floor = floor
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journalled mutation.
+
+    The fields beyond ``lsn``/``kind``/``forced`` are kind-dependent;
+    unused ones stay ``None``.  Records are immutable — replay and
+    accounting may share them freely.
+    """
+
+    lsn: int
+    kind: str
+    forced: bool = False
+    obj: Optional[str] = None
+    value: Any = None
+    date: Any = None
+    version: Any = None
+    size: Optional[int] = None
+    cell: Optional[str] = None
+    txn: Any = None
+    outcome: Optional[str] = None
+
+    def cost_bytes(self) -> int:
+        """A deterministic size estimate for replay-cost accounting.
+
+        The simulation has no real serialization; the byte figure is
+        the canonical repr length of the record's payload, which is
+        stable across runs of one seed (everything stored is builtin
+        scalars, tuples, and ``VpId``-style value types).
+        """
+        payload = (self.kind, self.obj, self.value, self.date,
+                   self.version, self.size, self.cell, self.txn,
+                   self.outcome)
+        return len(repr(payload))
+
+
+class WriteAheadLog:
+    """The append-only journal: strictly increasing LSNs, replayable tail.
+
+    Checkpointing truncates the prefix a checkpoint snapshot already
+    captures (``truncate_through``); what remains is exactly the replay
+    tail recovery needs.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+        self._next_lsn = 1
+        #: LSN of the newest record ever appended (0 = none yet);
+        #: survives truncation — it anchors checkpoint positions
+        self.tail_lsn = 0
+
+    def append(self, kind: str, *, forced: bool = False,
+               obj: Optional[str] = None, value: Any = None,
+               date: Any = None, version: Any = None,
+               size: Optional[int] = None, cell: Optional[str] = None,
+               txn: Any = None, outcome: Optional[str] = None) -> WalRecord:
+        if kind not in RECORD_KINDS:
+            raise ValueError(f"unknown WAL record kind {kind!r}")
+        record = WalRecord(
+            lsn=self._next_lsn, kind=kind, forced=forced, obj=obj,
+            value=value, date=date, version=version, size=size,
+            cell=cell, txn=txn, outcome=outcome,
+        )
+        self._next_lsn += 1
+        self.tail_lsn = record.lsn
+        self._records.append(record)
+        return record
+
+    def records_after(self, lsn: int) -> List[WalRecord]:
+        """The replay tail: every retained record with LSN > ``lsn``."""
+        return [r for r in self._records if r.lsn > lsn]
+
+    def truncate_through(self, lsn: int) -> int:
+        """Drop records with LSN <= ``lsn``; returns how many were cut.
+
+        Only valid once a checkpoint at ``lsn`` exists — the engine
+        enforces that ordering.
+        """
+        before = len(self._records)
+        self._records = [r for r in self._records if r.lsn > lsn]
+        return before - len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({len(self._records)} records, "
+                f"tail_lsn={self.tail_lsn})")

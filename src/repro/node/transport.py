@@ -67,6 +67,8 @@ class TransportStats:
     no_responses: int = 0
     #: gathers cut short by a satisfied quorum predicate
     early_exits: int = 0
+    #: replies that arrived after their waiter timed out or was killed
+    late_replies: int = 0
     #: model-time duration of each completed gather
     fanout_latencies: List[float] = field(default_factory=list)
 

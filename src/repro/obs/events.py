@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 MSG_SEND = "msg.send"
 MSG_RECV = "msg.recv"
 MSG_DROP = "msg.drop"
+MSG_LATE_REPLY = "msg.late-reply"  # reply arrived after its waiter left
 
 # -- failure injection and the processor lifecycle --------------------------
 FAIL_INJECT = "fail.inject"

@@ -37,6 +37,9 @@ class ProtocolMetrics:
     vp_joined: int = 0
     recoveries: int = 0
     transfer_units: int = 0
+    #: §6 log catch-ups that fell back to a full-object transfer
+    #: because the source had compacted past the requester's date
+    catchup_fallbacks: int = 0
     by_reason: Dict[str, int] = field(default_factory=dict)
 
     def abort(self, kind: str, reason: str) -> None:

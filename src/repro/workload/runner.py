@@ -215,11 +215,32 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
             transport.no_responses)
         registry.counter("transport.early_exits").inc(
             transport.early_exits)
+        registry.counter("transport.late_replies").inc(
+            transport.late_replies)
         fanout_latency.observe_many(transport.fanout_latencies)
+    retained = 0
+    for pid in cluster.pids:
+        store = cluster.processors[pid].store
+        stats = getattr(store, "stats", None)
+        if stats is None:
+            continue  # a bare CopyStore was injected; no engine stats
+        registry.counter("storage.wal_appends").inc(stats.wal_appends)
+        registry.counter("storage.forced_syncs").inc(stats.forced_syncs)
+        registry.counter("storage.checkpoints").inc(stats.checkpoints)
+        registry.counter("storage.compacted_entries").inc(
+            stats.compacted_entries)
+        registry.counter("storage.truncated_reads").inc(
+            stats.truncated_reads)
+        registry.counter("storage.replayed_records").inc(
+            stats.replayed_records)
+        registry.counter("storage.replayed_bytes").inc(stats.replayed_bytes)
+        retained += store.retained_entries()
+    registry.gauge("storage.retained_entries").set(retained)
     totals = cluster.total_metrics()
     if totals is not None:
         for name in ("vp_created", "vp_joined", "recoveries",
-                     "transfer_units", "logical_reads", "logical_writes",
+                     "transfer_units", "catchup_fallbacks",
+                     "logical_reads", "logical_writes",
                      "physical_read_rpcs", "physical_write_rpcs"):
             registry.gauge(f"protocol.{name}").set(getattr(totals, name, 0))
     return registry

@@ -1,0 +1,211 @@
+"""The storage engine is a faithful CopyStore facade — plus a WAL.
+
+Two layers of pinning:
+
+* equivalence — every CopyStore behaviour (place / read / write /
+  install / log_since / apply_log, including the ``date=None`` edge
+  cases) is identical through the engine with the default policy;
+* engine-only behaviour — WAL accounting, checkpoint/rebuild
+  round-trips, compaction floors and :class:`LogTruncated`, durable
+  cells, and the journalled decision log.
+"""
+
+import pytest
+
+from repro.node.storage import (
+    CopyStore,
+    LogEntry,
+    LogTruncated,
+    StorageEngine,
+    StoragePolicy,
+)
+from repro.node.storage.checkpoint import NO_FLOOR
+
+
+def drive(store):
+    """One scripted mixed workload, run against either implementation."""
+    store.place("x", initial=0, date=None, size=10, version="v0")
+    store.place("y", initial="seed", date=(1, 1), size=3, version="v1")
+    out = []
+    out.append(store.read("x"))
+    store.write("x", 11, (2, 1), "v2")
+    store.write("x", 12, (2, 2), "v3")
+    out.append(store.read("x"))
+    out.append(store.peek("y"))
+    store.install("y", "recovered", (3, 1), "v4")
+    out.append((store.date("y"), store.version("y"), store.size("y")))
+    # apply_log: stale entry ignored, newer applied, None-dated ignored
+    applied = store.apply_log("y", [
+        LogEntry((2, 9), "stale", "v-old"),
+        LogEntry(None, "undated", "v-none"),
+        LogEntry((4, 1), "newest", "v5"),
+    ])
+    out.append(applied)
+    out.append(store.log_since("x", None))
+    out.append(store.log_since("x", (2, 1)))
+    out.append(store.log_since("y", (3, 1)))
+    out.append((dict(store.reads), dict(store.writes)))
+    out.append((store.holds("x"), store.holds("nope")))
+    out.append(sorted(store.local_objects))
+    return out
+
+
+def test_engine_facade_equivalent_to_copystore():
+    assert drive(CopyStore(1)) == drive(StorageEngine(1))
+
+
+def test_facade_errors_match():
+    plain, engine = CopyStore(1), StorageEngine(1)
+    for store in (plain, engine):
+        store.place("x", initial=0)
+        with pytest.raises(KeyError):
+            store.place("x", initial=1)  # double placement
+        with pytest.raises(KeyError):
+            store.read("missing")
+        with pytest.raises(ValueError):
+            store.place("tiny", size=0)
+
+
+def test_every_mutation_is_journalled():
+    engine = StorageEngine(1)
+    engine.place("x", initial=0)
+    engine.write("x", 1, (1, 1), "v1")
+    engine.install("x", 2, (2, 1), "v2")
+    engine.apply_log("x", [LogEntry((3, 1), 3, "v3")])
+    kinds = [record.kind for record in engine.wal]
+    assert kinds == ["place", "write", "install", "apply"]
+    assert engine.stats.wal_appends == 4
+    assert engine.stats.forced_syncs == 0  # none of these force
+    # reads journal nothing
+    engine.read("x")
+    assert engine.stats.wal_appends == 4
+
+
+def test_force_write_points_are_counted():
+    engine = StorageEngine(1)
+    engine.record_prepare("t1", objects={"x"})
+    engine.record_decision("t1", "commit")
+    engine.record_decision("t2", "undecided", forced=False)
+    cell = engine.durable_cell("max-id", 0)
+    cell.value = 7  # a max-id bump is forced
+    assert engine.stats.forced_syncs == 3  # prepare, commit, cell bump
+    assert engine.stats.wal_appends == 5   # + undecided + cell creation
+    assert engine.decisions == {"t1": "commit", "t2": "undecided"}
+
+
+def test_durable_cell_reacquisition_is_idempotent():
+    engine = StorageEngine(1)
+    cell = engine.durable_cell("max-id", 10)
+    cell.value = 42
+    again = engine.durable_cell("max-id", 0)
+    assert again is cell
+    assert again.value == 42  # live value wins over the new initial
+
+
+def test_checkpoint_truncates_wal_and_rebuild_roundtrips():
+    engine = StorageEngine(1)
+    engine.place("x", initial=0, size=5)
+    engine.write("x", 1, (1, 1), "v1")
+    engine.durable_cell("max-id", (0, 1)).value = (1, 1)
+    engine.record_decision("t1", "commit")
+    engine.checkpoint()
+    assert len(engine.wal) == 0  # prefix captured by the snapshot
+    engine.write("x", 2, (2, 1), "v2")   # the replay tail
+    engine.record_decision("t2", "abort")
+    rebuilt = engine.rebuilt()
+    assert rebuilt.durable_snapshot() == engine.durable_snapshot()
+    assert rebuilt.stats.replayed_records == 2
+    assert rebuilt.stats.replayed_bytes > 0
+    assert rebuilt.durable_cell("max-id").value == (1, 1)
+    assert rebuilt.decisions == {"t1": "commit", "t2": "abort"}
+
+
+def test_rebuild_from_empty_checkpoint_is_pure_replay():
+    engine = StorageEngine(1)
+    engine.place("x", initial="a", date=None, version="v0")
+    engine.write("x", "b", (1, 1), "v1")
+    rebuilt = engine.rebuilt()
+    assert rebuilt.durable_snapshot() == engine.durable_snapshot()
+    assert rebuilt.stats.replayed_records == 2
+
+
+def test_replay_does_not_recount_transaction_writes():
+    engine = StorageEngine(1)
+    engine.place("x", initial=0)
+    engine.write("x", 1, (1, 1))
+    rebuilt = engine.rebuilt()
+    # the materialized copy (incl. its log) matches, but write counters
+    # are observability, not durable state — replay must not re-count
+    assert rebuilt.writes == {}
+    assert rebuilt.peek("x") == engine.peek("x")
+    assert rebuilt.log_since("x", None) == engine.log_since("x", None)
+
+
+def test_compaction_sets_floor_and_refuses_deep_log_reads():
+    engine = StorageEngine(1, StoragePolicy(log_retain=2))
+    engine.place("x", initial=0)           # seed entry, date=None
+    for n in range(1, 5):
+        engine.write("x", n, (n, 1), f"v{n}")
+    assert engine.retained_entries() == 5
+    engine.checkpoint()                    # compacts to the newest 2
+    assert engine.retained_entries() == 2
+    assert engine.stats.compacted_entries == 3
+    assert engine.compaction_floor("x") == (2, 1)
+    # at/above the floor: answered exactly
+    assert [e.value for e in engine.log_since("x", (2, 1))] == [3, 4]
+    assert [e.value for e in engine.log_since("x", (3, 1))] == [4]
+    # below the floor (or the full history): refused, not partial
+    with pytest.raises(LogTruncated):
+        engine.log_since("x", (1, 1))
+    with pytest.raises(LogTruncated):
+        engine.log_since("x", None)
+    assert engine.stats.truncated_reads == 2
+
+
+def test_none_dated_floor_still_answers_dated_queries():
+    engine = StorageEngine(1, StoragePolicy(log_retain=2))
+    engine.place("x", initial=0)
+    engine.write("x", 1, (1, 1), "v1")
+    engine.write("x", 2, (2, 1), "v2")
+    engine.checkpoint()  # discards only the None-dated seed entry
+    assert engine.compaction_floor("x") is None
+    # a None-dated entry is never part of a dated answer, so any dated
+    # ``after`` is still served exactly...
+    assert [e.value for e in engine.log_since("x", (0, 0))] == [1, 2]
+    # ...but the full history is gone
+    with pytest.raises(LogTruncated):
+        engine.log_since("x", None)
+
+
+def test_compaction_floor_survives_rebuild():
+    engine = StorageEngine(1, StoragePolicy(log_retain=1))
+    engine.place("x", initial=0)
+    for n in range(1, 4):
+        engine.write("x", n, (n, 1))
+    engine.checkpoint()
+    engine.write("x", 9, (9, 1))  # tail past the checkpoint
+    rebuilt = engine.rebuilt()
+    assert rebuilt.compaction_floor("x") == (2, 1)
+    with pytest.raises(LogTruncated):
+        rebuilt.log_since("x", (1, 1))
+    assert rebuilt.durable_snapshot() == engine.durable_snapshot()
+
+
+def test_auto_checkpoint_fires_by_append_count():
+    engine = StorageEngine(1, StoragePolicy(checkpoint_every=3))
+    engine.place("x", initial=0)
+    engine.write("x", 1, (1, 1))
+    assert engine.stats.checkpoints == 0
+    engine.write("x", 2, (2, 1))  # third append triggers
+    assert engine.stats.checkpoints == 1
+    assert len(engine.wal) == 0
+    assert engine.last_checkpoint.lsn == 3
+
+
+def test_uncompacted_engine_has_no_floor():
+    engine = StorageEngine(1)
+    engine.place("x", initial=0)
+    engine.write("x", 1, (1, 1))
+    engine.checkpoint()  # default policy: no compaction
+    assert engine.compaction_floor("x") is NO_FLOOR
+    assert len(engine.log_since("x", None)) == 2

@@ -148,3 +148,57 @@ def test_broadcast_collect_filters_and_respects_window():
     # collection is time-bounded, not count-bounded
     assert proc.value == ([2], 5.0)
     assert procs[1].transport.broadcasts == 1
+
+
+def test_late_reply_is_counted_and_traced():
+    from repro.node.transport import NoResponse
+    from repro.obs.trace import Tracer
+
+    sim, _, _, procs = build()
+    tracer = Tracer(sim)
+    procs[1].tracer = tracer
+    sim.process(echo_server(procs[2], delay=5.0)())
+
+    def caller():
+        try:
+            yield from procs[1].rpc(2, "echo", {"n": 1}, timeout=2.0)
+        except NoResponse:
+            return "timed-out"
+        return "answered"
+
+    proc = sim.process(caller())
+    sim.run()
+    assert proc.value == "timed-out"
+    # the reply landed at t=7, long after the waiter gave up at t=2
+    assert procs[1].transport.late_replies == 1
+    assert procs[1]._reply_waiters == {}
+    late = [e for e in tracer.events if e.etype == "msg.late-reply"]
+    assert len(late) == 1
+    assert late[0].pid == 1
+    assert late[0].fields["src"] == 2
+    assert late[0].fields["kind"] == "echo-reply"
+
+
+def test_quorum_kill_leaves_no_reply_waiters():
+    """Early-exit cleanup: killing straggler RPC workers must run their
+    ``finally`` blocks, deregistering every reply waiter — and the
+    straggler's eventual reply is dropped as a late reply, not an
+    error."""
+    sim, _, _, procs = build()
+    sim.process(echo_server(procs[2])())
+    sim.process(echo_server(procs[3])())
+    sim.process(echo_server(procs[4], delay=50.0)())
+
+    def caller():
+        results = yield from procs[1].quorum_call(
+            [2, 3, 4], "echo", lambda server: {"n": server}, timeout=100.0,
+            quorum=lambda partial: len(partial) >= 2)
+        return (set(results), procs[1]._reply_waiters.copy(), sim.now)
+
+    proc = sim.process(caller())
+    sim.run()  # runs past t=52, when p4's reply finally arrives
+    results, waiters_at_exit, finished_at = proc.value
+    assert results == {2, 3} and finished_at == 2.0
+    assert waiters_at_exit == {}  # killed workers cleaned up after themselves
+    assert procs[1]._reply_waiters == {}
+    assert procs[1].transport.late_replies == 1  # p4's orphaned reply
