@@ -34,6 +34,8 @@ _COMPATIBLE = {
 class LockRequest(Event):
     """A pending lock acquisition; cancelling it leaves the queue."""
 
+    __slots__ = ("obj", "txn", "mode", "_manager")
+
     def __init__(self, manager: "LockManager", obj: str, txn: Any, mode: str):
         super().__init__(manager.sim, name=f"lock({obj},{txn},{mode})")
         self.obj = obj

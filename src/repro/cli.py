@@ -14,17 +14,20 @@ Examples::
     python -m repro trace example2 --out trace.jsonl --analyze
 
     python -m repro metrics --protocol virtual-partitions --duration 200
+
+    python -m repro sweep --axis seed --values 1,2,3,4,5,6,7,8 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .core.config import ProtocolConfig
 from .workload import ExperimentSpec, WorkloadSpec, run_experiment
-from .workload.sweep import sweep_protocols
+from .workload.sweep import sweep, sweep_protocols
 from .workload.tables import render_table
 
 PROTOCOL_CHOICES = ["virtual-partitions", "rowa", "quorum", "majority",
@@ -49,18 +52,32 @@ def _parse_partition(text: str):
     return when, blocks
 
 
+class ScriptedFailures:
+    """The failure schedule the CLI flags describe, as a picklable
+    callable — ``repro sweep --workers N`` ships specs into worker
+    processes, so a closure over ``args`` would not survive the trip."""
+
+    def __init__(self, partitions, heal_at, crashes, recovers):
+        self.partitions = list(partitions or [])
+        self.heal_at = heal_at
+        self.crashes = list(crashes or [])
+        self.recovers = list(recovers or [])
+
+    def __call__(self, cluster) -> None:
+        for when, blocks in self.partitions:
+            cluster.injector.partition_at(when, blocks)
+        if self.heal_at is not None:
+            cluster.injector.heal_all_at(self.heal_at)
+        for when, pid in self.crashes:
+            cluster.injector.crash_at(when, pid)
+        for when, pid in self.recovers:
+            cluster.injector.recover_at(when, pid)
+
+
 def _spec_from(args, protocol: str) -> ExperimentSpec:
     config = ProtocolConfig(delta=args.delta, pi=args.pi, cc=args.cc)
-
-    def failures(cluster):
-        for when, blocks in args.partition or []:
-            cluster.injector.partition_at(when, blocks)
-        if args.heal_at is not None:
-            cluster.injector.heal_all_at(args.heal_at)
-        for when, pid in args.crash or []:
-            cluster.injector.crash_at(when, pid)
-        for when, pid in args.recover or []:
-            cluster.injector.recover_at(when, pid)
+    failures = ScriptedFailures(args.partition, args.heal_at,
+                                args.crash, args.recover)
 
     return ExperimentSpec(
         protocol=protocol,
@@ -168,6 +185,42 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _parse_axis_value(token: str):
+    """A sweep value from the command line: int, then float, then str."""
+    for kind in (int, float):
+        try:
+            return kind(token)
+        except ValueError:
+            continue
+    return token
+
+
+def cmd_sweep(args) -> int:
+    base = _spec_from(args, args.protocol)
+    values = [_parse_axis_value(v.strip())
+              for v in args.values.split(",") if v.strip()]
+    if not values:
+        raise SystemExit("no sweep values supplied")
+    wall_start = time.perf_counter()
+    results = sweep(base, args.axis, values, workers=args.workers)
+    wall = time.perf_counter() - wall_start
+    rows = []
+    total_events = 0
+    for value, result in results:
+        total_events += result.events_dispatched
+        rows.append(_result_rows(str(value), result)
+                    + [result.events_dispatched])
+    print(render_table(
+        [args.axis] + _HEADERS[1:] + ["events"], rows,
+        title=f"sweep over {args.axis} "
+              f"({len(values)} runs, workers={args.workers})",
+    ))
+    rate = total_events / wall if wall else 0.0
+    print(f"{len(values)} runs, {total_events} simulated events "
+          f"in {wall:.2f}s wall ({rate:,.0f} events/sec aggregate)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
                       default="virtual-partitions")
     common(mt_p)
     mt_p.set_defaults(func=cmd_metrics)
+
+    sw_p = sub.add_parser(
+        "sweep", help="run one experiment per axis value, optionally "
+                      "fanned out across worker processes"
+    )
+    sw_p.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                      default="virtual-partitions")
+    sw_p.add_argument("--axis", default="seed",
+                      help="ExperimentSpec field, or workload.<field> "
+                           "(default: seed)")
+    sw_p.add_argument("--values", required=True,
+                      help="comma-separated axis values, e.g. '1,2,3,4'")
+    sw_p.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial; results are "
+                           "identical either way)")
+    common(sw_p)
+    sw_p.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -16,6 +16,7 @@ they do not fire later and steal items.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
 #: Scheduling priorities. Lower value runs first at equal timestamps.
@@ -26,7 +27,20 @@ _PENDING = object()
 
 
 class Event:
-    """A one-shot occurrence that callbacks and processes can wait on."""
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Events are allocated on every message hop, timer, and lock wait, so
+    the class is slotted and its kernel-facing state (``_cancelled``,
+    the ``_delayed`` materialization flag) consists of real attributes —
+    the dispatch loop reads them directly instead of ``getattr``-probing.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok",
+                 "_processed", "_defused", "_cancelled")
+
+    #: class-level flag: True on subclasses (Timeout) whose value is
+    #: held aside and materialized only when the kernel pops the event
+    _delayed = False
 
     def __init__(self, sim, name: str = ""):
         self.sim = sim
@@ -38,6 +52,8 @@ class Event:
         self._processed = False
         #: True once defused (a failure someone consumed on purpose)
         self._defused = False
+        #: True once withdrawn while scheduled; the kernel skips it
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
 
@@ -69,22 +85,26 @@ class Event:
 
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, priority)
+        # inlined Simulator._schedule: succeed() runs once per message
+        # hop and lock grant, so the extra call is worth skipping
+        sim = self.sim
+        heappush(sim._queue, (sim._now, priority, next(sim._seq), self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Trigger the event with a failure carrying ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        heappush(sim._queue, (sim._now, priority, next(sim._seq), self))
         return self
 
     def defuse(self) -> None:
@@ -100,18 +120,17 @@ class Event:
         external registrations (queue waiters, timers) override this to
         release them.  Cancelling a triggered event is a no-op.
         """
-        if not self.triggered:
+        if self._value is _PENDING:
             self.callbacks = []
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        """Run ``callback(event)`` when this event is processed."""
+        """Run ``callback(event)`` when this event is processed.
+
+        A triggered-but-unprocessed event still accepts callbacks: the
+        kernel picks them up when it pops the event.
+        """
         if self._processed:
             raise RuntimeError(f"{self!r} already processed")
-        if self.triggered:
-            # Triggered but not yet processed: the kernel will pick the
-            # callback up when it pops the event.
-            assert self.callbacks is not None
-        assert self.callbacks is not None
         self.callbacks.append(callback)
 
     def __repr__(self) -> str:
@@ -132,6 +151,10 @@ class Timeout(Event):
     occurs in model time — composite conditions rely on this.
     """
 
+    __slots__ = ("delay", "_delayed_value")
+
+    _delayed = True
+
     def __init__(self, sim, delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -147,12 +170,17 @@ class Timeout(Event):
 
     def cancel(self) -> None:
         # The kernel lazily discards cancelled timeouts when popped.
+        if self._processed or self._cancelled:
+            return
         self.callbacks = []
         self._cancelled = True
+        self.sim._note_cancelled()
 
 
 class ConditionValue:
     """Mapping of events to values for fired composite conditions."""
+
+    __slots__ = ("events",)
 
     def __init__(self):
         self.events: list[Event] = []
@@ -179,31 +207,33 @@ class ConditionValue:
 class Condition(Event):
     """Base composite event over a list of sub-events."""
 
+    __slots__ = ("events", "_fired")
+
     def __init__(self, sim, events: Iterable[Event], name: str = ""):
         super().__init__(sim, name)
         self.events = list(events)
-        for event in self.events:
-            if event.sim is not sim:
-                raise ValueError("events belong to different simulators")
         self._fired: list[Event] = []
         if not self.events:
             self.succeed(ConditionValue())
             return
+        on_sub = self._on_sub_event
         for event in self.events:
-            if event.triggered:
-                self._on_sub_event(event)
+            if event.sim is not sim:
+                raise ValueError("events belong to different simulators")
+            if event._value is not _PENDING:
+                on_sub(event)
             else:
-                event.add_callback(self._on_sub_event)
+                event.callbacks.append(on_sub)
 
     def _satisfied(self) -> bool:
         raise NotImplementedError
 
     def _on_sub_event(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
-            event.defuse()
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
             self._cancel_pending()
             return
         self._fired.append(event)
@@ -219,13 +249,16 @@ class Condition(Event):
         # holding resources (queue gets) use cancel() to give them back;
         # without this, a message delivered simultaneously with the
         # winning event would be consumed and silently dropped.
+        fired = self._fired
         for event in self.events:
-            if event not in self._fired and not event.processed:
+            if event not in fired and not event._processed:
                 event.cancel()
 
 
 class AnyOf(Condition):
     """Fires as soon as one sub-event fires; remaining ones are cancelled."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._fired) >= 1
@@ -233,6 +266,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Fires when every sub-event has fired."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._fired) == len(self.events)

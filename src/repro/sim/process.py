@@ -24,6 +24,8 @@ EventGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """Wraps a generator and drives it through the event loop."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, sim, generator: EventGenerator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -35,7 +37,7 @@ class Process(Event):
         # deliveries that were already scheduled at this instant.
         init = Event(sim, name=f"{self.name}.init")
         init.succeed()
-        init.add_callback(self._resume)
+        init.callbacks.append(self._resume)
         self._target = init
 
     # -- inspection --------------------------------------------------------
@@ -90,16 +92,16 @@ class Process(Event):
     # -- kernel callback -----------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
-            # Killed between scheduling and delivery.
+        if self.triggered:
+            # Killed (or finished) between scheduling and delivery.
             return
         self.sim._active_process = self
         try:
-            if event.ok:
-                next_target = self._generator.send(event.value)
+            if event._ok:
+                next_target = self._generator.send(event._value)
             else:
-                event.defuse()
-                next_target = self._generator.throw(event.value)
+                event._defused = True
+                next_target = self._generator.throw(event._value)
         except StopIteration as stop:
             self._target = None
             self.succeed(stop.value)
@@ -128,7 +130,7 @@ class Process(Event):
             self.sim._report_crash(crash)
             self.fail(crash)
             return
-        if next_target.processed:
+        if next_target._processed:
             crash = ProcessCrashed(
                 self, RuntimeError(f"{next_target!r} already processed")
             )
@@ -136,4 +138,4 @@ class Process(Event):
             self.fail(crash)
             return
         self._target = next_target
-        next_target.add_callback(self._resume)
+        next_target.callbacks.append(self._resume)

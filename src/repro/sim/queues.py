@@ -19,13 +19,17 @@ from .events import Event
 class GetEvent(Event):
     """A pending ``get`` on a :class:`MessageQueue`."""
 
+    __slots__ = ("_queue",)
+
     def __init__(self, queue: "MessageQueue"):
-        super().__init__(queue.sim, name=f"{queue.name}.get")
+        # the ".get" suffix is precomputed once per queue — gets are
+        # issued on every receive, so no per-event string formatting
+        super().__init__(queue.sim, name=queue._get_name)
         self._queue = queue
 
     def cancel(self) -> None:
         if self.triggered:
-            if not self.processed:
+            if not self.processed and not self._cancelled:
                 # The get already consumed an item but lost a composite
                 # race before delivery: un-consume.  The item returns to
                 # the FRONT of the queue so FIFO order is preserved, and
@@ -33,6 +37,7 @@ class GetEvent(Event):
                 self._queue._items.appendleft(self.value)
                 self.callbacks = []
                 self._cancelled = True
+                self.sim._note_cancelled()
             return
         try:
             self._queue._waiters.remove(self)
@@ -44,9 +49,12 @@ class GetEvent(Event):
 class MessageQueue:
     """Unbounded FIFO of items with event-based consumption."""
 
+    __slots__ = ("sim", "name", "_get_name", "_items", "_waiters")
+
     def __init__(self, sim, name: str = "queue"):
         self.sim = sim
         self.name = name
+        self._get_name = f"{name}.get"
         self._items: deque[Any] = deque()
         self._waiters: list[GetEvent] = []
 

@@ -14,6 +14,8 @@ from .events import Event
 class Notifier:
     """A broadcast point: many waiters, released together on notify."""
 
+    __slots__ = ("sim", "name", "_waiters")
+
     def __init__(self, sim, name: str = "notifier"):
         self.sim = sim
         self.name = name

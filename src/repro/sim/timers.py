@@ -22,8 +22,42 @@ from typing import Optional
 from .events import Event, Timeout
 
 
+class _TimerGate(Event):
+    """The event a :meth:`Timer.wait` hands out.
+
+    Cancelling the gate (e.g. when it loses an ``AnyOf`` race) also
+    cancels the underlying :class:`Timeout` so it does not linger in
+    the kernel heap.  A dedicated slotted subclass replaces the old
+    per-instance ``gate.cancel`` monkeypatch, which ``__slots__`` on
+    :class:`Event` no longer permits — and its ``_relay`` bound method
+    replaces a per-wait closure.
+    """
+
+    __slots__ = ("_timeout", "_timer", "_generation")
+
+    def __init__(self, sim, timer: "Timer", timeout: Timeout,
+                 name: str = ""):
+        super().__init__(sim, name)
+        self._timeout = timeout
+        self._timer = timer
+        self._generation = timer._generation
+
+    def _relay(self, _event) -> None:
+        # Fires only if the arming that created this wait is still the
+        # current one — re-arming invalidates outstanding waits.
+        if (self._timer._generation == self._generation
+                and not self.triggered):
+            self.succeed(self._timer)
+
+    def cancel(self) -> None:
+        self._timeout.cancel()
+        super().cancel()
+
+
 class Timer:
     """A one-shot, re-armable countdown."""
+
+    __slots__ = ("sim", "name", "_generation", "_pending", "_expiry")
 
     def __init__(self, sim, name: str = "timer"):
         self.sim = sim
@@ -63,26 +97,13 @@ class Timer:
         """
         if not self.armed:
             return self.sim.event(name=f"{self.name}.never")
-        generation = self._generation
         timeout = Timeout(
             self.sim, self._expiry - self.sim.now,
             name=f"{self.name}.timeout",
         )
         self._pending = timeout
-        gate = self.sim.event(name=f"{self.name}.gate")
-
-        def relay(_event, timer=self, gen=generation, out=gate):
-            if timer._generation == gen and not out.triggered:
-                out.succeed(timer)
-
-        timeout.add_callback(relay)
-        original_cancel = gate.cancel
-
-        def cancel_both(t=timeout, orig=original_cancel):
-            t.cancel()
-            orig()
-
-        gate.cancel = cancel_both  # type: ignore[method-assign]
+        gate = _TimerGate(self.sim, self, timeout, name=f"{self.name}.gate")
+        timeout.add_callback(gate._relay)
         return gate
 
     def _invalidate(self) -> None:

@@ -1,13 +1,14 @@
 """Workloads, scenarios, and the experiment harness."""
 
 from .generator import WorkloadGenerator, WorkloadSpec, body_for
+from .parallel import default_workers, portable_result, run_many
 from .runner import (
     ExperimentResult,
     ExperimentSpec,
     build_cluster,
     run_experiment,
 )
-from .sweep import grid, sweep, sweep_protocols
+from .sweep import averaged, grid, sweep, sweep_protocols
 from .tables import render_series, render_table
 
 __all__ = [
@@ -15,12 +16,16 @@ __all__ = [
     "ExperimentSpec",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "averaged",
     "body_for",
     "build_cluster",
+    "default_workers",
     "grid",
+    "portable_result",
     "render_series",
     "render_table",
     "run_experiment",
+    "run_many",
     "sweep",
     "sweep_protocols",
 ]

@@ -8,6 +8,8 @@ per committed transaction, abort rates, and availability.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -59,8 +61,41 @@ class ExperimentResult:
     metrics: Any
     network: dict
     one_copy_ok: Optional[bool]
-    cluster: Cluster
+    cluster: Optional[Cluster]
     registry: Optional[MetricsRegistry] = None
+    #: kernel events dispatched during the run — deterministic for a
+    #: seeded spec, so it participates in serial/parallel equality
+    events_dispatched: int = 0
+    #: wall-clock seconds spent inside ``cluster.run`` — NOT
+    #: deterministic, deliberately excluded from :meth:`fingerprint`
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulated events dispatched per wall-clock second."""
+        return (self.events_dispatched / self.wall_seconds
+                if self.wall_seconds else 0.0)
+
+    def fingerprint(self) -> dict:
+        """Every deterministic output of the run, as plain data.
+
+        Two runs of the same spec — serial or parallel, this kernel or
+        the last one — must produce equal fingerprints; wall-clock and
+        the live cluster are excluded because they legitimately differ.
+        """
+        metrics = self.metrics
+        if dataclasses.is_dataclass(metrics):
+            metrics = dataclasses.asdict(metrics)
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "one_copy_ok": self.one_copy_ok,
+            "metrics": metrics,
+            "network": dict(self.network),
+            "events_dispatched": self.events_dispatched,
+            "registry": (self.registry.snapshot()
+                         if self.registry is not None else None),
+        }
 
     @property
     def attempted(self) -> int:
@@ -155,7 +190,9 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
                 name=f"client@p{pid}{suffix}",
             )
 
+    wall_start = time.perf_counter()
     cluster.run(until=spec.duration + spec.grace)
+    wall_seconds = time.perf_counter() - wall_start
 
     committed = len(cluster.history.committed())
     aborted = len(cluster.history.aborted())
@@ -172,6 +209,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         one_copy_ok=one_copy_ok,
         cluster=cluster,
         registry=collect_registry(cluster),
+        events_dispatched=cluster.sim.dispatched,
+        wall_seconds=wall_seconds,
     )
 
 
@@ -184,6 +223,7 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
     committed-transaction latencies (simulated time).
     """
     registry = MetricsRegistry()
+    registry.counter("sim.dispatched").inc(cluster.sim.dispatched)
     history = cluster.history
     committed = history.committed()
     registry.counter("txn.committed").inc(len(committed))

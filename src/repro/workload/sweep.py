@@ -1,45 +1,54 @@
-"""Parameter sweeps over experiment specs."""
+"""Parameter sweeps over experiment specs.
+
+Every sweep shape builds its full spec list up front and hands it to
+:func:`~repro.workload.parallel.run_many`, so one ``workers=N``
+argument parallelizes all of them.  ``workers=1`` (the default) is the
+plain serial path; parallel runs return results identical to it, in
+the same order — each child owns its own seeded simulator.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
-from .runner import ExperimentResult, ExperimentSpec, run_experiment
+from .parallel import run_many
+from .runner import ExperimentResult, ExperimentSpec
 
 
-def sweep(base: ExperimentSpec, axis: str,
-          values: Sequence[Any]) -> List[Tuple[Any, ExperimentResult]]:
+def sweep(base: ExperimentSpec, axis: str, values: Sequence[Any],
+          workers: int = 1) -> List[Tuple[Any, ExperimentResult]]:
     """Run ``base`` once per value of ``axis``.
 
     ``axis`` may name a field of :class:`ExperimentSpec` or, with the
     ``workload.`` prefix, a field of its :class:`WorkloadSpec`.
     """
-    results = []
-    for value in values:
-        results.append((value, run_experiment(_with(base, axis, value))))
-    return results
+    values = list(values)
+    specs = [_with(base, axis, value) for value in values]
+    return list(zip(values, run_many(specs, workers=workers)))
 
 
 def sweep_protocols(base: ExperimentSpec, protocols: Sequence[str],
-                    ) -> Dict[str, ExperimentResult]:
+                    workers: int = 1) -> Dict[str, ExperimentResult]:
     """Run the identical workload under each protocol (paired seeds)."""
-    return {
-        name: run_experiment(replace(base, protocol=name))
-        for name in protocols
-    }
+    names = list(protocols)
+    specs = [replace(base, protocol=name) for name in names]
+    return dict(zip(names, run_many(specs, workers=workers)))
 
 
 def grid(base: ExperimentSpec, axes: Dict[str, Sequence[Any]],
-         ) -> List[Tuple[Dict[str, Any], ExperimentResult]]:
+         workers: int = 1) -> List[Tuple[Dict[str, Any], ExperimentResult]]:
     """Full cartesian sweep over several axes."""
     names = sorted(axes)
-    results: List[Tuple[Dict[str, Any], ExperimentResult]] = []
+    points: List[Dict[str, Any]] = []
+    specs: List[ExperimentSpec] = []
 
     def recurse(index: int, point: Dict[str, Any],
                 spec: ExperimentSpec) -> None:
         if index == len(names):
-            results.append((dict(point), run_experiment(spec)))
+            points.append(dict(point))
+            specs.append(spec)
             return
         axis = names[index]
         for value in axes[axis]:
@@ -48,14 +57,25 @@ def grid(base: ExperimentSpec, axes: Dict[str, Sequence[Any]],
         del point[axis]
 
     recurse(0, {}, base)
-    return results
+    return list(zip(points, run_many(specs, workers=workers)))
 
 
-def averaged(run: Callable[[int], float], seeds: Iterable[int]) -> float:
-    """Mean of a scalar measurement across seeds."""
-    values = [run(seed) for seed in seeds]
-    if not values:
+def averaged(run: Callable[[int], float], seeds: Iterable[int],
+             workers: int = 1) -> float:
+    """Mean of a scalar measurement across seeds.
+
+    With ``workers > 1``, seeds fan out over a process pool; ``run``
+    must then be picklable (a module-level function, not a closure).
+    """
+    seeds = list(seeds)
+    if not seeds:
         raise ValueError("no seeds supplied")
+    if workers <= 1 or len(seeds) <= 1:
+        values = [run(seed) for seed in seeds]
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(seeds))) as pool:
+            values = list(pool.map(run, seeds))
     return sum(values) / len(values)
 
 

@@ -26,7 +26,7 @@ def _load(path: Path):
 
 
 def test_all_benchmarks_discovered():
-    assert len(BENCH_FILES) >= 12
+    assert len(BENCH_FILES) >= 13
 
 
 @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)

@@ -1,0 +1,181 @@
+"""Fast-path semantics: the single-pop dispatch loop, real
+``_cancelled`` attributes, and lazy-deletion compaction must be
+observably identical to the old peek-then-pop kernel.  (The golden
+trace sha in ``tests/properties/test_storage_transparency.py`` pins
+the same claim end-to-end.)"""
+
+import pytest
+
+from repro.sim import EmptySchedule, Simulator
+from repro.sim.kernel import _COMPACT_MIN
+from repro.sim.queues import MessageQueue
+from repro.sim.timers import Timer
+
+
+def test_cancelled_timeouts_are_never_dispatched():
+    sim = Simulator()
+    fired = []
+    doomed = sim.timeout(1.0)
+    doomed.add_callback(lambda e: fired.append("doomed"))
+    sim.timeout(2.0).add_callback(lambda e: fired.append("kept"))
+    doomed.cancel()
+    sim.run()
+    assert fired == ["kept"]
+    assert sim.now == 2.0
+
+
+def test_dispatched_counter_skips_cancelled_events():
+    sim = Simulator()
+    survivors = [sim.timeout(float(i)) for i in range(1, 6)]
+    for victim in survivors[::2]:
+        victim.cancel()
+    sim.run()
+    # 5 scheduled, 3 cancelled (indices 0, 2, 4): only 2 dispatch
+    assert sim.dispatched == 2
+
+
+def test_step_and_peek_share_the_skip_rule():
+    sim = Simulator()
+    first = sim.timeout(1.0)
+    sim.timeout(2.0)
+    first.cancel()
+    assert sim.peek() == 2.0
+    # peek must not consume: step dispatches the same event
+    sim.step()
+    assert sim.now == 2.0
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_double_cancel_is_idempotent():
+    sim = Simulator()
+    doomed = sim.timeout(1.0)
+    doomed.cancel()
+    doomed.cancel()
+    assert sim._cancelled_count == 1
+    sim.timeout(2.0)
+    sim.run()
+    assert sim.now == 2.0
+
+
+def test_anyof_loser_timer_is_cancelled():
+    sim = Simulator()
+    queue = MessageQueue(sim, name="inbox")
+    timer = Timer(sim, name="t")
+    outcomes = []
+
+    def receiver():
+        timer.set(10.0)
+        result = yield sim.any_of([queue.get(), timer.wait()])
+        outcomes.append([e.value for e in result.events])
+
+    def sender():
+        yield sim.timeout(1.0)
+        queue.put("hello")
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert outcomes == [["hello"]]
+    # the losing timer's timeout never fires: the clock stops at the
+    # message delivery, not at the 10.0 expiry
+    assert sim.now == 1.0
+
+
+def test_anyof_loser_get_unconsumes_item():
+    """A get that triggered simultaneously with the winner gives its
+    item back to the front of the queue."""
+    sim = Simulator()
+    queue = MessageQueue(sim, name="inbox")
+    received = []
+
+    def racer():
+        get = queue.get()
+        other = sim.event(name="other")
+        other.succeed("winner-first")
+        # deliver the item at the same instant, after `other` triggers:
+        # the get loses the race and must un-consume
+        queue.put("precious")
+        result = yield sim.any_of([other, get])
+        received.append([e.value for e in result.events])
+
+    sim.process(racer())
+    sim.run()
+    assert received == [["winner-first"]]
+    assert queue.peek_all() == ["precious"]
+
+
+def test_unhandled_failed_event_raises():
+    sim = Simulator()
+    sim.event().fail(ValueError("nobody is listening"))
+    with pytest.raises(ValueError, match="nobody is listening"):
+        sim.run()
+
+
+def test_non_strict_crash_recording_still_works():
+    sim = Simulator()
+    sim.strict = False
+
+    def bomber():
+        yield sim.timeout(1.0)
+        raise ValueError("bad")
+
+    def survivor():
+        yield sim.timeout(2.0)
+        return "ok"
+
+    sim.process(bomber()).defuse()
+    other = sim.process(survivor())
+    sim.run()
+    assert other.value == "ok"
+    assert len(sim.crashes) == 1
+    assert isinstance(sim.crashes[0].original, ValueError)
+
+
+def test_compaction_evicts_cancelled_entries():
+    """Once cancelled entries outnumber live ones past the threshold,
+    the heap is rebuilt without them — and the surviving events still
+    fire in exactly time order."""
+    sim = Simulator()
+    total = 2 * _COMPACT_MIN + 400
+    timeouts = [sim.timeout(float(i + 1)) for i in range(total)]
+    victims = timeouts[: 2 * _COMPACT_MIN]  # cancel a clear majority
+    for victim in victims:
+        victim.cancel()
+    # lazy deletion compacted at least once: far fewer entries than
+    # were scheduled, and the debt counter was reset below the threshold
+    assert len(sim._queue) < total - _COMPACT_MIN
+    assert sim._cancelled_count < _COMPACT_MIN
+
+    fired = []
+    for keeper in timeouts[2 * _COMPACT_MIN:]:
+        keeper.add_callback(lambda e: fired.append(e.delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == 400
+    assert sim.dispatched == 400
+
+
+def test_trace_hook_sees_every_dispatch_in_order():
+    sim = Simulator()
+    seen = []
+    sim.trace_hook = lambda when, event: seen.append(when)
+    sim.timeout(2.0)
+    doomed = sim.timeout(1.0)
+    doomed.cancel()
+    sim.timeout(3.0)
+    sim.run()
+    assert seen == [2.0, 3.0]
+    assert sim.dispatched == len(seen)
+
+
+def test_run_until_horizon_leaves_future_events_intact():
+    """The single-pop loop must push a not-yet-due event back rather
+    than losing it."""
+    sim = Simulator()
+    fired = []
+    sim.timeout(10.0).add_callback(lambda e: fired.append(10.0))
+    sim.run(until=4.0)
+    assert sim.now == 4.0 and fired == []
+    sim.run()
+    assert fired == [10.0]
