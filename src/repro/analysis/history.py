@@ -91,6 +91,9 @@ class History:
         self.joins: List[tuple] = []    # (time, pid, vpid, frozenset(view))
         self.departs: List[tuple] = []  # (time, pid, vpid)
         self.recoveries: List[tuple] = []  # (time, pid, obj, vpid)
+        #: optional runtime :class:`~repro.audit.InvariantAuditor`; the
+        #: join/depart stream is its view-protocol event source
+        self.auditor = None
 
     # -- transactions ------------------------------------------------------------
 
@@ -140,10 +143,15 @@ class History:
 
     def record_join(self, *, time: float, pid: int, vpid: Any,
                     view: Iterable[int]) -> None:
-        self.joins.append((time, pid, vpid, frozenset(view)))
+        frozen = frozenset(view)
+        self.joins.append((time, pid, vpid, frozen))
+        if self.auditor is not None:
+            self.auditor.on_join(time=time, pid=pid, vpid=vpid, view=frozen)
 
     def record_depart(self, *, time: float, pid: int, vpid: Any) -> None:
         self.departs.append((time, pid, vpid))
+        if self.auditor is not None:
+            self.auditor.on_depart(time=time, pid=pid, vpid=vpid)
 
     def record_recovery(self, *, time: float, pid: int, obj: str,
                         vpid: Any) -> None:

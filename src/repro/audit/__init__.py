@@ -1,0 +1,5 @@
+"""Runtime invariant auditing for replica control runs."""
+
+from .auditor import AuditViolation, InvariantAuditor
+
+__all__ = ["AuditViolation", "InvariantAuditor"]

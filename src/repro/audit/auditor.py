@@ -1,0 +1,287 @@
+"""The runtime invariant auditor: S1–S3, R1/R3/R5 and 2PC safety, live.
+
+The end-of-run checkers (``analysis.one_copy``, the property tests)
+judge a finished history; the auditor asserts the paper's invariants *as
+events happen*, so a violation is caught at the instant it occurs and
+carries the trace context that produced it — which is what a campaign
+hunter needs to shrink a failing schedule into a story.
+
+The auditor is pure observation: hooks are one ``if auditor is not
+None`` away from the hot paths, it never mutates protocol state, draws
+no randomness, and schedules no events — an audited run is
+event-for-event identical to an unaudited one.
+
+What it checks, mapped to the paper:
+
+* **S1** (view consistency): every virtual partition commits exactly one
+  view — a second join of the same vpid with a different view is flagged.
+* **S2** (reflexivity): a processor only joins views containing itself.
+* **S3** (serializability of partitions): if ``p ∈ members(v)`` and
+  ``p ∈ view(w)`` for ``v ≺ w``, then ``p`` departed ``v`` no later than
+  the first join of ``w``.  Same-instant races are held as *pending* and
+  resolved by the matching depart; ``finalize()`` flags the leftovers.
+* **R1** (accessibility): every logical access happens in a partition
+  whose view makes the object accessible (weighted majority).
+* **R3** (write all copies): a logical write's target set is exactly the
+  object's copies inside the partition's view.
+* **R5 + view match** (physical access): a server never serves a copy
+  that is update-locked, never serves a partition it is not currently
+  committed to, and only serves objects it holds a copy of.
+* **2PC safety**: a coordinator's decision never flips once decided, and
+  all processors apply the same outcome for a transaction — the
+  in-doubt/presumed-abort machinery's whole contract.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One invariant violation with the trace context that led to it."""
+
+    time: float
+    invariant: str
+    pid: Optional[int]
+    detail: str
+    context: Tuple = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "invariant": self.invariant,
+            "pid": self.pid,
+            "detail": self.detail,
+            "context": [dict(c) for c in self.context],
+        }
+
+    def __str__(self) -> str:
+        return f"[t={self.time:.2f}] {self.invariant} @p{self.pid}: {self.detail}"
+
+
+class InvariantAuditor:
+    """Continuously asserts S1–S3, R1/R3/R5 and 2PC safety."""
+
+    def __init__(self, placement=None, context_size: int = 24):
+        self.placement = placement
+        self.violations: list[AuditViolation] = []
+        #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
+        self.tracer = None
+        self._context: deque = deque(maxlen=context_size)
+        # view-protocol state (S1-S3)
+        self._views: dict = {}          # vpid -> committed view
+        self._members: dict = {}        # vpid -> pids that joined it
+        self._first_join: dict = {}     # vpid -> time of first join
+        self._first_depart: dict = {}   # (pid, vpid) -> first depart time
+        self._pending_s3: list = []     # (new_vpid, join_time, pid, old_vpid)
+        # 2PC state
+        self._coord_log: dict = {}      # (pid, txn) -> last logged decision
+        self._decided: dict = {}        # txn -> first commit/abort decided
+        self._applied: dict = {}        # txn -> first outcome applied anywhere
+
+    # -- verdict ---------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def finalize(self) -> None:
+        """Flag S3 obligations that never resolved (missing departs)."""
+        for new_vpid, join_time, pid, old_vpid in self._pending_s3:
+            depart = self._first_depart.get((pid, old_vpid))
+            if depart is not None and depart <= join_time:
+                continue
+            self._violate(
+                join_time, "S3", pid,
+                f"in view of {new_vpid} but never departed {old_vpid} "
+                f"(first join of {new_vpid} at {join_time})",
+            )
+        self._pending_s3 = []
+
+    def report(self) -> str:
+        if self.ok:
+            return "auditor: all invariants held"
+        return "\n".join(str(v) for v in self.violations)
+
+    # -- view-protocol hooks (wired through History) ---------------------------
+
+    def on_join(self, *, time: float, pid: int, vpid: Any,
+                view: FrozenSet[int]) -> None:
+        self._note("join", time, pid, vpid=str(vpid), view=sorted(view))
+        seen = self._views.get(vpid)
+        if seen is None:
+            self._views[vpid] = view
+            self._first_join[vpid] = time
+            # S3 against every older partition already known
+            for old_vpid, members in self._members.items():
+                if not old_vpid < vpid:
+                    continue
+                for q in members & view:
+                    self._require_depart(vpid, time, q, old_vpid)
+        elif view != seen:
+            self._violate(
+                time, "S1", pid,
+                f"{vpid} committed two views: {sorted(seen)} vs {sorted(view)}",
+            )
+        if pid not in view:
+            self._violate(
+                time, "S2", pid,
+                f"joined {vpid} with view {sorted(view)} not containing itself",
+            )
+        # a late join of an old partition while a newer view includes us
+        for newer, newer_view in self._views.items():
+            if vpid < newer and pid in newer_view:
+                self._require_depart(newer, self._first_join[newer], pid, vpid)
+        self._members.setdefault(vpid, set()).add(pid)
+
+    def on_depart(self, *, time: float, pid: int, vpid: Any) -> None:
+        self._note("depart", time, pid, vpid=str(vpid))
+        self._first_depart.setdefault((pid, vpid), time)
+        still_pending = []
+        for pending in self._pending_s3:
+            new_vpid, join_time, p, old_vpid = pending
+            if (p, old_vpid) != (pid, vpid):
+                still_pending.append(pending)
+                continue
+            depart = self._first_depart[(pid, vpid)]
+            if depart > join_time:
+                self._violate(
+                    time, "S3", pid,
+                    f"departed {old_vpid} at {depart} after the first join "
+                    f"of {new_vpid} at {join_time}",
+                )
+        self._pending_s3 = still_pending
+
+    def _require_depart(self, new_vpid: Any, join_time: float, pid: int,
+                        old_vpid: Any) -> None:
+        depart = self._first_depart.get((pid, old_vpid))
+        if depart is not None and depart <= join_time:
+            return
+        # the matching depart may still land at this same instant —
+        # hold the obligation and let on_depart/finalize() resolve it
+        self._pending_s3.append((new_vpid, join_time, pid, old_vpid))
+
+    # -- access hooks (wired through AccessMixin) ------------------------------
+
+    def on_logical_access(self, *, time: float, pid: int, txn: Any, kind: str,
+                          obj: str, vpid: Any, targets: Tuple[int, ...],
+                          ) -> None:
+        self._note("logical", time, pid, txn=str(txn), kind=kind, obj=obj,
+                   vpid=str(vpid))
+        if self.placement is None:
+            return
+        view = self._views.get(vpid)
+        if view is None:
+            return  # a partition the auditor never saw committed; S-checks
+        if not self.placement.accessible(obj, view):
+            self._violate(
+                time, "R1", pid,
+                f"txn {txn} {kind}({obj}) in {vpid} whose view {sorted(view)} "
+                "does not make the object accessible",
+            )
+        if kind == "w":
+            expected = self.placement.copies(obj) & set(view)
+            if set(targets) != expected:
+                self._violate(
+                    time, "R3", pid,
+                    f"txn {txn} wrote {obj} at {sorted(targets)}, R3 requires "
+                    f"all in-view copies {sorted(expected)}",
+                )
+
+    def on_physical_access(self, *, time: float, pid: int, txn: Any,
+                           kind: str, obj: str, vpid: Any, state) -> None:
+        self._note("physical", time, pid, txn=str(txn), kind=kind, obj=obj,
+                   vpid=str(vpid))
+        if obj in state.locked:
+            self._violate(
+                time, "R5", pid,
+                f"served {kind}({obj}) for txn {txn} while the copy is "
+                "update-locked",
+            )
+        if not state.assigned or state.cur_id != vpid:
+            current = state.cur_id if state.assigned else None
+            self._violate(
+                time, "view-match", pid,
+                f"served {kind}({obj}) for partition {vpid} while committed "
+                f"to {current}",
+            )
+        elif pid not in state.lview:
+            self._violate(
+                time, "S2", pid,
+                f"assigned to {vpid} with view {sorted(state.lview)} not "
+                "containing itself",
+            )
+        if self.placement is not None and pid not in self.placement.copies(obj):
+            self._violate(
+                time, "placement", pid,
+                f"served {kind}({obj}) without holding a copy",
+            )
+
+    # -- 2PC hooks -------------------------------------------------------------
+
+    def on_decision(self, time: float, pid: int, txn: Any,
+                    outcome: str) -> None:
+        self._note("decision", time, pid, txn=str(txn), outcome=outcome)
+        key = (pid, txn)
+        old = self._coord_log.get(key)
+        if old in ("commit", "abort") and outcome != old:
+            self._violate(
+                time, "2PC-decision", pid,
+                f"coordinator flipped txn {txn}: {old} -> {outcome}",
+            )
+        self._coord_log[key] = outcome
+        if outcome in ("commit", "abort"):
+            first = self._decided.setdefault(txn, outcome)
+            if first != outcome:
+                self._violate(
+                    time, "2PC-decision", pid,
+                    f"txn {txn} decided {outcome} after {first} elsewhere",
+                )
+            applied = self._applied.get(txn)
+            if applied is not None and applied != outcome:
+                self._violate(
+                    time, "2PC-decision", pid,
+                    f"txn {txn} decided {outcome} after a processor already "
+                    f"applied {applied}",
+                )
+
+    def on_decision_applied(self, time: float, pid: int, txn: Any,
+                            outcome: str) -> None:
+        self._note("apply", time, pid, txn=str(txn), outcome=outcome)
+        first = self._applied.setdefault(txn, outcome)
+        if first != outcome:
+            self._violate(
+                time, "2PC-apply", pid,
+                f"txn {txn} applied as {outcome} here but {first} elsewhere",
+            )
+        decided = self._decided.get(txn)
+        if decided is not None and outcome != decided:
+            self._violate(
+                time, "2PC-apply", pid,
+                f"txn {txn} applied as {outcome}, coordinator logged {decided}",
+            )
+
+    # -- internals -------------------------------------------------------------
+
+    def _note(self, event: str, time: float, pid: int, **info) -> None:
+        entry = {"event": event, "time": time, "pid": pid}
+        entry.update(info)
+        self._context.append(entry)
+
+    def _violate(self, time: float, invariant: str, pid: Optional[int],
+                 detail: str) -> None:
+        violation = AuditViolation(
+            time=time, invariant=invariant, pid=pid, detail=detail,
+            context=tuple(dict(c) for c in self._context),
+        )
+        self.violations.append(violation)
+        if self.tracer is not None:
+            self.tracer.emit("audit.violation", pid=pid or 0,
+                             invariant=invariant, detail=detail)
+
+    def __repr__(self) -> str:
+        return (f"InvariantAuditor(violations={len(self.violations)}, "
+                f"views={len(self._views)})")

@@ -221,6 +221,47 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_hunt(args) -> int:
+    from pathlib import Path
+
+    from .workload.hunt import HuntConfig, hunt, replay_artifact
+
+    if args.replay is not None:
+        verdict, result = replay_artifact(Path(args.replay))
+        print(f"replayed {args.replay}: committed={result.committed} "
+              f"aborted={result.aborted}")
+        print(f"verdict: {verdict or 'clean'}")
+        failed = verdict is not None
+        return int(failed != args.expect_failure)
+
+    cfg = HuntConfig(
+        protocol=args.protocol,
+        processors=args.processors,
+        objects=args.objects,
+        seed=args.seed,
+        campaigns=args.campaigns,
+        workers=args.workers,
+        shrink_budget=args.shrink_budget,
+        stop_after=args.stop_after,
+    )
+    out_dir = Path(args.out) if args.out else None
+    report = hunt(cfg, out_dir=out_dir, log=print)
+    if report.survived:
+        print(f"{cfg.protocol}: survived {report.campaigns_run} campaigns "
+              f"(seed={cfg.seed}) — no invariant or 1SR violations")
+    else:
+        print(f"{cfg.protocol}: {len(report.findings)} finding(s) in "
+              f"{report.campaigns_run} campaigns (seed={cfg.seed})")
+        for finding in report.findings:
+            size = (len(finding.shrunk) if finding.shrunk is not None
+                    else len(finding.actions))
+            where = "" if finding.artifact is None else f" -> {finding.artifact}"
+            print(f"  campaign {finding.campaign}: {finding.verdict} "
+                  f"[{size} actions{where}]")
+    failed = not report.survived
+    return int(failed != args.expect_failure)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -309,6 +350,32 @@ def build_parser() -> argparse.ArgumentParser:
                            "identical either way)")
     common(sw_p)
     sw_p.set_defaults(func=cmd_sweep)
+
+    ht_p = sub.add_parser(
+        "hunt", help="fan out randomized nemesis campaigns; shrink any "
+                     "failure to a minimal replayable repro artifact"
+    )
+    ht_p.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                      default="virtual-partitions")
+    ht_p.add_argument("--processors", type=int, default=4)
+    ht_p.add_argument("--objects", type=int, default=3)
+    ht_p.add_argument("--seed", type=int, default=0,
+                      help="hunt seed; every campaign derives from it")
+    ht_p.add_argument("--campaigns", type=int, default=50)
+    ht_p.add_argument("--workers", type=int, default=None,
+                      help="worker processes for the campaign fan-out")
+    ht_p.add_argument("--out", default=None,
+                      help="directory for repro artifacts (JSON)")
+    ht_p.add_argument("--shrink-budget", type=int, default=48,
+                      help="max re-runs the shrinker may spend per finding")
+    ht_p.add_argument("--stop-after", type=int, default=1,
+                      help="stop after this many findings (0 = run all)")
+    ht_p.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="re-run a repro artifact instead of hunting")
+    ht_p.add_argument("--expect-failure", action="store_true",
+                      help="invert the exit code: success means a finding "
+                           "(mutation-canary mode for CI)")
+    ht_p.set_defaults(func=cmd_hunt)
     return parser
 
 

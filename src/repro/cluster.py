@@ -50,7 +50,8 @@ class Cluster:
                  protocol: Optional[ProtocolFactory] = None,
                  loss_prob: float = 0.0, slow_prob: float = 0.0,
                  slow_factor: float = 5.0,
-                 trace: "bool | Any" = False):
+                 trace: "bool | Any" = False,
+                 audit: "bool | Any" = False):
         if isinstance(processors, int):
             pids = list(range(1, processors + 1))
         else:
@@ -96,13 +97,21 @@ class Cluster:
             pid: TransactionManager(self.protocols[pid], self.history)
             for pid in pids
         }
-        self.injector = FailureInjector(self.sim, self.graph, self.processors)
+        self.injector = FailureInjector(self.sim, self.graph, self.processors,
+                                        network=self.network)
         #: structured trace sink; None unless ``trace`` was requested
         self.tracer = None
         if trace:
             from .obs.trace import Tracer
             tracer = trace if isinstance(trace, Tracer) else Tracer(self.sim)
             self._wire_tracer(tracer)
+        #: runtime invariant auditor; None unless ``audit`` was requested
+        self.auditor = None
+        if audit:
+            from .audit import InvariantAuditor
+            monitor = (audit if isinstance(audit, InvariantAuditor)
+                       else InvariantAuditor(self.placement))
+            self._wire_auditor(monitor)
         self._started = False
 
     def _wire_tracer(self, tracer) -> None:
@@ -119,6 +128,15 @@ class Cluster:
                 proto.tracer = tracer
         for tm in self.tms.values():
             tm.tracer = tracer
+
+    def _wire_auditor(self, auditor) -> None:
+        """Install the runtime invariant ``auditor`` on every hook point."""
+        self.auditor = auditor
+        auditor.tracer = self.tracer
+        self.history.auditor = auditor
+        for proto in self.protocols.values():
+            if hasattr(proto, "auditor"):
+                proto.auditor = auditor
 
     # -- setup -----------------------------------------------------------------
 

@@ -64,6 +64,11 @@ class AccessMixin:
                     time=self.sim.now, txn=ctx.txn_id, kind="r", obj=obj,
                     value=value, version=payload["version"],
                 )
+                if self.auditor is not None:
+                    self.auditor.on_logical_access(
+                        time=self.sim.now, pid=self.pid, txn=ctx.txn_id,
+                        kind="r", obj=obj, vpid=vpid, targets=(server,),
+                    )
                 ctx.note_access("r", obj, server, vpid)
                 return value
             last_reason = payload["reason"]
@@ -149,6 +154,11 @@ class AccessMixin:
             time=self.sim.now, txn=ctx.txn_id, kind="w", obj=obj,
             value=value, version=version,
         )
+        if self.auditor is not None:
+            self.auditor.on_logical_access(
+                time=self.sim.now, pid=self.pid, txn=ctx.txn_id,
+                kind="w", obj=obj, vpid=vpid, targets=tuple(targets),
+            )
         return None
 
     # ------------------------------------------------------------------
@@ -177,6 +187,7 @@ class AccessMixin:
             self._decisions[ctx.txn_id] = "undecided"
             self.processor.store.record_decision(ctx.txn_id, "undecided",
                                                  forced=False)
+            self._audit_decision(ctx.txn_id, "undecided")
         state = self.state
         if not state.assigned or state.cur_id not in ctx.vpids:
             if ctx.vpids and not self._weakened_ok_locally(ctx):
@@ -240,12 +251,22 @@ class AccessMixin:
             # longer commit.
             raise TransactionAborted(ctx.txn_id,
                                      "aborted while in doubt (R4)")
+        if outcome == "commit" and ctx.txn_id in self._poisoned_txns:
+            # Our own partition changed while the remote votes were in
+            # flight and strict R4 force-aborted the transaction here
+            # (on_partition_change): the local writes are already rolled
+            # back and the locks dropped, so deciding commit now would
+            # diverge from our own copies.  The coordinator still holds
+            # its unilateral abort right at this point — exercise it.
+            raise TransactionAborted(ctx.txn_id,
+                                     "partition changed during commit (R4)")
         # Log the decision before the first decide message leaves: a
         # participant may lose the decide to a partition cut and query
         # the log later (see _resolve_in_doubt).  This is the
         # coordinator's forced write — the decide messages wait for it.
         self._decisions[ctx.txn_id] = outcome
         self.processor.store.record_decision(ctx.txn_id, outcome)
+        self._audit_decision(ctx.txn_id, outcome)
         sync_cost = self.config.storage_sync_cost
         if sync_cost > 0:
             yield self.sim.timeout(sync_cost)
@@ -331,6 +352,11 @@ class AccessMixin:
             time=self.sim.now, txn=txn, kind="r", obj=obj,
             copy_pid=self.pid, value=value, version=version, vpid=vpid,
         )
+        if self.auditor is not None:
+            self.auditor.on_physical_access(
+                time=self.sim.now, pid=self.pid, txn=txn, kind="r",
+                obj=obj, vpid=vpid, state=state,
+            )
         self.processor.reply(message, "read-reply",
                              {"ok": True, "value": value, "date": date,
                               "version": version})
@@ -386,6 +412,11 @@ class AccessMixin:
             time=self.sim.now, txn=txn, kind="w", obj=obj,
             copy_pid=self.pid, value=value, version=version, vpid=vpid,
         )
+        if self.auditor is not None:
+            self.auditor.on_physical_access(
+                time=self.sim.now, pid=self.pid, txn=txn, kind="w",
+                obj=obj, vpid=vpid, state=state,
+            )
         # Durability cost model: the write's journal append must land
         # before the copy acknowledges.  The write is already visible
         # locally (strict 2PL holds the lock), so only the ack waits.
@@ -468,7 +499,14 @@ class AccessMixin:
             self._before_images.pop(txn, None)
         self._in_doubt.pop(txn, None)
         self._poisoned_txns.discard(txn)
+        if self.auditor is not None:
+            self.auditor.on_decision_applied(self.sim.now, self.pid, txn,
+                                             outcome)
         self.cc.finish(txn, outcome)
+
+    def _audit_decision(self, txn, outcome: str) -> None:
+        if self.auditor is not None:
+            self.auditor.on_decision(self.sim.now, self.pid, txn, outcome)
 
     # ------------------------------------------------------------------
     # partition-change effects on transactions (rule R4, strict mode)
@@ -581,6 +619,7 @@ class AccessMixin:
             # Journalled as a forced decision record (its sync latency
             # is absorbed by the status reply already in flight).
             self.processor.store.record_decision(txn, "abort")
+            self._audit_decision(txn, "abort")
         self.processor.reply(message, "txn-status-reply",
                              {"outcome": outcome})
 

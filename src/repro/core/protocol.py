@@ -57,6 +57,8 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         self.metrics = ProtocolMetrics()
         #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
         self.tracer = None
+        #: optional :class:`~repro.audit.InvariantAuditor`; None = off
+        self.auditor = None
         self._create_vp_process = None
         self._update_process = None
         self._before_images: dict = {}
@@ -145,6 +147,7 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
                 self._decisions[txn] = "abort"
                 self.processor.store.record_decision(txn, "abort",
                                                      forced=False)
+                self._audit_decision(txn, "abort")
         self.cc = make_cc(self.config, self.sim, label=f"p{self.pid}.cc")
         self._wire_cc_tracer()
         self.state.reset_volatile()

@@ -56,12 +56,24 @@ class MonitorMixin:
             elif commit_get in fired:
                 message = fired[commit_get]
                 committed_id = message.payload["id"]
+                view = set(message.payload["view"])
                 # Fig. 6 lines 12-20: commit only to the id we accepted
-                # last; anything else is stale.
-                if committed_id == state.max_id:
+                # last; anything else is stale.  The membership check
+                # matters when our acceptance reached the initiator too
+                # late (or not at all): the committed view then excludes
+                # us, and joining it would violate S2 — every member of
+                # a view must be in that view.  Stay departed instead;
+                # the commit_wait timer set at accept time still fires
+                # and forms a fresh partition around us.
+                if committed_id == state.max_id and self.pid not in view:
+                    if self.tracer is not None:
+                        self.tracer.emit("vp.commit-excluded", pid=self.pid,
+                                         vpid=committed_id,
+                                         view=sorted(view))
+                elif committed_id == state.max_id:
                     self._commit_partition(
                         committed_id,
-                        set(message.payload["view"]),
+                        view,
                         dict(message.payload["previous_map"]),
                     )
                     timer.reset()

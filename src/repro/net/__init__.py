@@ -1,6 +1,13 @@
 """Network substrate: topology, latency, transport, failure injection."""
 
 from .failures import FailureInjector, RandomFailures
+from .nemesis import (
+    FaultAction,
+    Nemesis,
+    NemesisMix,
+    apply_schedule,
+    plan_nemesis,
+)
 from .latency import (
     DistanceLatency,
     FixedLatency,
@@ -16,12 +23,17 @@ __all__ = [
     "CommGraph",
     "DistanceLatency",
     "FailureInjector",
+    "FaultAction",
     "FixedLatency",
     "LatencyModel",
     "Message",
+    "Nemesis",
+    "NemesisMix",
     "Network",
     "NetworkStats",
     "RandomFailures",
+    "apply_schedule",
+    "plan_nemesis",
     "UniformLatency",
     "ring_distances",
 ]

@@ -5,35 +5,70 @@ processors to kill their tasks) at exact simulated instants, which is
 how the reproduction stages the paper's scenarios — e.g. Example 2's
 "re-partition while two processors still hold stale views" needs the
 partition to land between two specific protocol steps.
+
+**Ownership claims.**  Several fault actors can run at once — a
+scripted schedule, a :class:`RandomFailures` process, and any number of
+nemesis campaigns.  Each downed element (crashed node, cut link, one-way
+cut) carries the set of *actors* that downed it; an actor's heal or
+recover removes only its own claim, and the element actually comes back
+only when the last claim is gone.  Without this, a random link-heal
+could silently resurrect a link a scripted ``cut_at`` deliberately
+downed mid-scenario.  ``partition_at`` and ``heal_all_at`` remain
+authoritative: a partition rewrites the claims of every link it touches,
+and ``heal_all`` force-clears all link claims.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, FrozenSet, Iterable, Mapping, Optional, Sequence
 
 from ..sim import Simulator
+from .network import Network
 from .topology import CommGraph
 
 Action = Callable[[], None]
+
+#: the actor name used by the scripted ``*_at`` convenience schedule
+SCRIPT = "script"
 
 
 class FailureInjector:
     """Applies scripted topology changes at scheduled times."""
 
     def __init__(self, sim: Simulator, graph: CommGraph,
-                 processors: Optional[Mapping[int, Any]] = None):
+                 processors: Optional[Mapping[int, Any]] = None,
+                 network: Optional[Network] = None):
         self.sim = sim
         self.graph = graph
+        self.network = network
         self._processors: Mapping[int, Any] = processors or {}
         #: chronological record of applied failures, for reports
         self.log: list[tuple[float, str]] = []
         #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
         self.tracer = None
+        # ownership claims: which actors currently hold each element down
+        self._node_claims: dict[int, set[str]] = {}
+        self._link_claims: dict[FrozenSet[int], set[str]] = {}
+        self._oneway_claims: dict[tuple[int, int], set[str]] = {}
 
     def set_processors(self, processors: Mapping[int, Any]) -> None:
         """Late-bind the pid → processor map (crash/recover targets)."""
         self._processors = processors
+
+    # -- claim queries ---------------------------------------------------------
+
+    def claims_on_node(self, pid: int) -> frozenset:
+        """Actors currently holding processor ``pid`` down."""
+        return frozenset(self._node_claims.get(pid, ()))
+
+    def claims_on_link(self, a: int, b: int) -> frozenset:
+        """Actors currently holding the undirected ``a``–``b`` link cut."""
+        return frozenset(self._link_claims.get(frozenset((a, b)), ()))
+
+    def claims_on_oneway(self, src: int, dst: int) -> frozenset:
+        """Actors currently holding the ``src`` → ``dst`` direction cut."""
+        return frozenset(self._oneway_claims.get((src, dst), ()))
 
     # -- scheduling ------------------------------------------------------------
 
@@ -72,36 +107,161 @@ class FailureInjector:
 
     def cut_at(self, time: float, a: int, b: int) -> None:
         """Cut the ``a``–``b`` link at ``time``."""
-        self.at(time, lambda: self.graph.cut_link(a, b), f"cut({a},{b})")
+        self.at(time, lambda: self._cut(a, b), f"cut({a},{b})")
 
     def heal_at(self, time: float, a: int, b: int) -> None:
         """Heal the ``a``–``b`` link at ``time``."""
-        self.at(time, lambda: self.graph.heal_link(a, b), f"heal({a},{b})")
+        self.at(time, lambda: self._heal(a, b), f"heal({a},{b})")
+
+    def cut_oneway_at(self, time: float, src: int, dst: int) -> None:
+        """Cut only the ``src`` → ``dst`` direction at ``time``."""
+        self.at(time, lambda: self._cut_oneway(src, dst),
+                f"cut-oneway({src},{dst})")
+
+    def heal_oneway_at(self, time: float, src: int, dst: int) -> None:
+        """Heal the ``src`` → ``dst`` direction at ``time``."""
+        self.at(time, lambda: self._heal_oneway(src, dst),
+                f"heal-oneway({src},{dst})")
 
     def partition_at(self, time: float,
                      blocks: Sequence[Iterable[int]]) -> None:
         """Impose a clean partition into ``blocks`` at ``time``."""
         frozen = [list(block) for block in blocks]
-        self.at(time, lambda: self.graph.partition(frozen),
+        self.at(time, lambda: self._partition(frozen),
                 f"partition({frozen})")
 
     def heal_all_at(self, time: float) -> None:
         """Restore full connectivity (crashed nodes stay down) at ``time``."""
-        self.at(time, self.graph.heal_all, "heal_all")
+        self.at(time, self._heal_all, "heal_all")
+
+    def grey_loss_at(self, time: float, src: int, dst: int, prob: float,
+                     duration: Optional[float] = None) -> None:
+        """Make the ``src`` → ``dst`` route lossy with probability ``prob``.
+
+        With ``duration`` the burst clears itself after that long.
+        """
+        self.at(time, lambda: self._network().set_grey_loss(src, dst, prob),
+                f"grey-loss({src},{dst},{prob})")
+        if duration is not None:
+            self.at(time + duration,
+                    lambda: self._network().clear_grey_loss(src, dst),
+                    f"grey-loss-end({src},{dst})")
+
+    def delay_surge_at(self, time: float, src: int, dst: int, factor: float,
+                       duration: Optional[float] = None) -> None:
+        """Stretch every ``src`` → ``dst`` latency draw by ``factor``."""
+        self.at(time, lambda: self._network().set_delay_surge(src, dst, factor),
+                f"delay-surge({src},{dst},{factor})")
+        if duration is not None:
+            self.at(time + duration,
+                    lambda: self._network().clear_delay_surge(src, dst),
+                    f"delay-surge-end({src},{dst})")
+
+    def dup_storm_at(self, time: float, src: int, dst: int, prob: float,
+                     duration: Optional[float] = None) -> None:
+        """Duplicate ``src`` → ``dst`` envelopes with probability ``prob``."""
+        self.at(time, lambda: self._network().set_dup_storm(src, dst, prob),
+                f"dup-storm({src},{dst},{prob})")
+        if duration is not None:
+            self.at(time + duration,
+                    lambda: self._network().clear_dup_storm(src, dst),
+                    f"dup-storm-end({src},{dst})")
+
+    def flap_link_at(self, time: float, a: int, b: int,
+                     period: float, cycles: int) -> None:
+        """Flap the ``a``–``b`` link: cut/heal alternating every ``period``."""
+        if period <= 0:
+            raise ValueError(f"flap period must be positive: {period}")
+        if cycles < 1:
+            raise ValueError(f"flap needs at least one cycle: {cycles}")
+        for c in range(cycles):
+            self.at(time + 2 * c * period, lambda: self._cut(a, b),
+                    f"flap-cut({a},{b})")
+            self.at(time + (2 * c + 1) * period, lambda: self._heal(a, b),
+                    f"flap-heal({a},{b})")
 
     # -- primitive operations ---------------------------------------------------
 
-    def _crash(self, pid: int) -> None:
+    def _network(self) -> Network:
+        if self.network is None:
+            raise RuntimeError(
+                "this action perturbs the transport; construct the "
+                "FailureInjector with network=..."
+            )
+        return self.network
+
+    def _crash(self, pid: int, actor: str = SCRIPT) -> None:
+        self._node_claims.setdefault(pid, set()).add(actor)
         self.graph.crash_node(pid)
         processor = self._processors.get(pid)
         if processor is not None:
             processor.crash()
 
-    def _recover(self, pid: int) -> None:
+    def _recover(self, pid: int, actor: str = SCRIPT) -> None:
+        claims = self._node_claims.get(pid)
+        if claims:
+            claims.discard(actor)
+            if claims:
+                return  # another actor still holds this node down
+        self._node_claims.pop(pid, None)
         self.graph.recover_node(pid)
         processor = self._processors.get(pid)
         if processor is not None:
             processor.recover()
+
+    def _cut(self, a: int, b: int, actor: str = SCRIPT) -> None:
+        self._link_claims.setdefault(frozenset((a, b)), set()).add(actor)
+        self.graph.cut_link(a, b)
+
+    def _heal(self, a: int, b: int, actor: str = SCRIPT) -> None:
+        key = frozenset((a, b))
+        claims = self._link_claims.get(key)
+        if claims:
+            claims.discard(actor)
+            if claims:
+                return  # someone else still wants this link down
+        self._link_claims.pop(key, None)
+        self.graph.heal_link(a, b)
+
+    def _cut_oneway(self, src: int, dst: int, actor: str = SCRIPT) -> None:
+        self._oneway_claims.setdefault((src, dst), set()).add(actor)
+        self.graph.cut_link_oneway(src, dst)
+
+    def _heal_oneway(self, src: int, dst: int, actor: str = SCRIPT) -> None:
+        key = (src, dst)
+        claims = self._oneway_claims.get(key)
+        if claims:
+            claims.discard(actor)
+            if claims:
+                return
+        self._oneway_claims.pop(key, None)
+        self.graph.heal_link_oneway(src, dst)
+
+    def _partition(self, blocks: Sequence[Iterable[int]]) -> None:
+        # graph.partition validates the blocks (and raises) before any
+        # mutation, so claims are rewritten only for an applied partition
+        self.graph.partition(blocks)
+        groups = [set(block) for block in blocks]
+        mentioned = set().union(*groups) if groups else set()
+        leftovers = set(self.graph.nodes) - mentioned
+        if leftovers:
+            groups.append(leftovers)
+        block_of = {p: i for i, group in enumerate(groups) for p in group}
+        for a in self.graph.nodes:
+            for b in self.graph.nodes:
+                if a < b:
+                    key = frozenset((a, b))
+                    if block_of[a] == block_of[b]:
+                        self._link_claims.pop(key, None)
+                        self._oneway_claims.pop((a, b), None)
+                        self._oneway_claims.pop((b, a), None)
+                    else:
+                        self._link_claims[key] = {SCRIPT}
+
+    def _heal_all(self) -> None:
+        self.graph.heal_all()
+        self._link_claims.clear()
+        self._oneway_claims.clear()
 
 
 class RandomFailures:
@@ -112,6 +272,11 @@ class RandomFailures:
     time with mean ``mttr``.  Link cuts behave analogously.  "Failures
     are rare" in the paper's cost analysis corresponds to mttf much
     larger than both the probe period π and transaction latency.
+
+    Every cycle runs under this process's own ownership claim: if some
+    other actor (a script, a nemesis) already holds the target down, the
+    cycle is skipped rather than piling a second failure on top, and the
+    repair never resurrects an element someone else still wants down.
     """
 
     def __init__(self, injector: FailureInjector, rng: random.Random,
@@ -151,25 +316,30 @@ class RandomFailures:
 
     def _node_lifecycle(self, pid: int):
         sim = self.injector.sim
+        actor = f"rand-node({pid})"
         while sim.now < self.horizon:
             yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttf))
             if sim.now >= self.horizon:
                 return
+            if self.injector.claims_on_node(pid):
+                continue  # another actor holds it down; don't pile on
             self.injector._record(f"random-crash({pid})")
-            self.injector._crash(pid)
+            self.injector._crash(pid, actor)
             yield sim.timeout(self.rng.expovariate(1.0 / self.node_mttr))
             self.injector._record(f"random-recover({pid})")
-            self.injector._recover(pid)
+            self.injector._recover(pid, actor)
 
     def _link_lifecycle(self, a: int, b: int):
         sim = self.injector.sim
-        graph = self.injector.graph
+        actor = f"rand-link({a},{b})"
         while sim.now < self.horizon:
             yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttf))
             if sim.now >= self.horizon:
                 return
+            if self.injector.claims_on_link(a, b):
+                continue  # scripted or nemesis cut owns this link
             self.injector._record(f"random-cut({a},{b})")
-            graph.cut_link(a, b)
+            self.injector._cut(a, b, actor)
             yield sim.timeout(self.rng.expovariate(1.0 / self.link_mttr))
             self.injector._record(f"random-heal({a},{b})")
-            graph.heal_link(a, b)
+            self.injector._heal(a, b, actor)

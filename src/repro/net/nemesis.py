@@ -1,0 +1,275 @@
+"""Nemesis: randomized adversarial fault campaigns.
+
+A nemesis generalizes :class:`RandomFailures` from "memoryless crashes
+and symmetric cuts" to the full adversarial fault model: directed cuts,
+delay surges, grey-loss bursts, duplication storms, link flapping, and
+whole partitions, composed in bursts.
+
+The design splits *planning* from *application*.  ``plan_nemesis`` draws
+a complete schedule of :class:`FaultAction` records up front from its
+own RNG — a plain, picklable, JSON-able list.  ``apply_schedule`` then
+installs the schedule on a :class:`FailureInjector` deterministically,
+with zero further randomness.  That split is what makes campaigns
+shrinkable: the hunter can delete actions from the list and replay the
+remainder bit-for-bit, which an online random process cannot offer.
+
+Every applied action holds its faults under its own ownership claim
+(``nemesis#<n>``), so overlapping actions — and any scripted schedule
+running alongside — compose: an action's undo releases only its own
+claim, never a fault someone else still wants in place.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .failures import FailureInjector
+
+#: action kinds a nemesis can draw, in canonical order
+KINDS = ("crash", "cut", "oneway", "surge", "grey", "dup", "flap", "partition")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One planned fault: do something at ``time``, undo at ``time + hold``.
+
+    ``args`` is kind-specific:
+
+    * ``crash``: ``(pid,)``
+    * ``cut`` / ``oneway``: ``(a, b)`` (directed for ``oneway``)
+    * ``surge``: ``(src, dst, factor)``
+    * ``grey`` / ``dup``: ``(src, dst, prob)``
+    * ``flap``: ``(a, b, period, cycles)`` — ``hold`` is ignored; the
+      flap ends itself after ``2 * period * cycles``
+    * ``partition``: ``(block, ...)`` — imposed as pairwise inter-block
+      cuts under this action's claim, so it composes and undoes cleanly
+    """
+
+    time: float
+    kind: str
+    args: Tuple
+    hold: float
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind,
+                "args": list(self.args), "hold": self.hold}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        args = tuple(
+            tuple(x) if isinstance(x, list) else x for x in data["args"]
+        )
+        return cls(time=data["time"], kind=data["kind"],
+                   args=args, hold=data["hold"])
+
+
+@dataclass
+class NemesisMix:
+    """Relative weights and intensity ranges for the fault classes."""
+
+    crash: float = 1.0
+    cut: float = 1.0
+    oneway: float = 1.0
+    surge: float = 1.0
+    grey: float = 1.0
+    dup: float = 0.5
+    flap: float = 0.5
+    partition: float = 0.5
+    #: latency multiplier range for delay surges
+    surge_factor: Tuple[float, float] = (3.0, 8.0)
+    #: loss probability range for grey-loss bursts
+    loss_prob: Tuple[float, float] = (0.3, 0.9)
+    #: duplication probability range for dup storms
+    dup_prob: Tuple[float, float] = (0.2, 0.6)
+    #: flap half-period range (time units) and cycle-count range
+    flap_period: Tuple[float, float] = (1.0, 4.0)
+    flap_cycles: Tuple[int, int] = (2, 5)
+
+    def weights(self) -> dict:
+        return {k: getattr(self, k) for k in KINDS}
+
+
+def plan_nemesis(rng: random.Random, pids: Sequence[int],
+                 mix: Optional[NemesisMix] = None,
+                 horizon: float = 300.0, start: float = 10.0,
+                 mean_gap: float = 20.0, burst: Tuple[int, int] = (1, 3),
+                 mean_hold: float = 15.0) -> list:
+    """Draw a complete fault schedule.
+
+    Fault instants arrive as a Poisson-ish process from ``start`` with
+    mean inter-arrival ``mean_gap``; each instant fires a burst of 1–N
+    simultaneous actions (the paper's Fig. 2 scenario — a re-partition
+    *while* another fault is still in effect — needs overlap, which
+    bursts plus multi-unit holds provide).  Every action self-heals
+    after an exponential hold with mean ``mean_hold``.
+    """
+    mix = mix or NemesisMix()
+    pids = sorted(pids)
+    if len(pids) < 2:
+        raise ValueError("a nemesis needs at least two processors")
+    kinds = [k for k, w in mix.weights().items() if w > 0]
+    weights = [mix.weights()[k] for k in kinds]
+    actions = []
+    t = start
+    while t < horizon:
+        for _ in range(rng.randint(*burst)):
+            kind = rng.choices(kinds, weights)[0]
+            hold = min(1.0 + rng.expovariate(1.0 / mean_hold), horizon - t)
+            actions.append(_draw_action(rng, kind, pids, mix, t, hold))
+        t += 1.0 + rng.expovariate(1.0 / mean_gap)
+    return actions
+
+
+def _draw_action(rng: random.Random, kind: str, pids: Sequence[int],
+                 mix: NemesisMix, t: float, hold: float) -> FaultAction:
+    if kind == "crash":
+        args: Tuple = (rng.choice(pids),)
+    elif kind in ("cut", "oneway"):
+        args = tuple(rng.sample(pids, 2))
+    elif kind == "surge":
+        src, dst = rng.sample(pids, 2)
+        args = (src, dst, round(rng.uniform(*mix.surge_factor), 3))
+    elif kind == "grey":
+        src, dst = rng.sample(pids, 2)
+        args = (src, dst, round(rng.uniform(*mix.loss_prob), 3))
+    elif kind == "dup":
+        src, dst = rng.sample(pids, 2)
+        args = (src, dst, round(rng.uniform(*mix.dup_prob), 3))
+    elif kind == "flap":
+        a, b = rng.sample(pids, 2)
+        args = (a, b, round(rng.uniform(*mix.flap_period), 3),
+                rng.randint(*mix.flap_cycles))
+    elif kind == "partition":
+        shuffled = list(pids)
+        rng.shuffle(shuffled)
+        split = rng.randint(1, len(shuffled) - 1)
+        args = (tuple(sorted(shuffled[:split])),
+                tuple(sorted(shuffled[split:])))
+    else:  # pragma: no cover - planner and KINDS list move together
+        raise ValueError(f"unknown fault kind: {kind}")
+    return FaultAction(time=t, kind=kind, args=args, hold=hold)
+
+
+def apply_schedule(injector: FailureInjector, actions: Sequence[FaultAction],
+                   ) -> None:
+    """Install a planned schedule on ``injector`` — fully deterministic.
+
+    Each action does its fault at ``time`` and undoes it at ``time +
+    hold`` under a unique per-action claim, so overlapping actions on
+    the same element compose instead of healing each other early.
+    Transport perturbations (surge/grey/dup) are last-writer-wins per
+    route — they are probabilistic noise, not safety-bearing state.
+    """
+    for i, action in enumerate(actions):
+        _apply_one(injector, action, actor=f"nemesis#{i}")
+
+
+def _apply_one(injector: FailureInjector, action: FaultAction,
+               actor: str) -> None:
+    t, args, hold = action.time, action.args, action.hold
+    kind = action.kind
+    if kind == "crash":
+        pid = args[0]
+        injector.at(t, lambda: injector._crash(pid, actor),
+                    f"nemesis-crash({pid})")
+        injector.at(t + hold, lambda: injector._recover(pid, actor),
+                    f"nemesis-recover({pid})")
+    elif kind == "cut":
+        a, b = args
+        injector.at(t, lambda: injector._cut(a, b, actor),
+                    f"nemesis-cut({a},{b})")
+        injector.at(t + hold, lambda: injector._heal(a, b, actor),
+                    f"nemesis-heal({a},{b})")
+    elif kind == "oneway":
+        a, b = args
+        injector.at(t, lambda: injector._cut_oneway(a, b, actor),
+                    f"nemesis-cut-oneway({a},{b})")
+        injector.at(t + hold, lambda: injector._heal_oneway(a, b, actor),
+                    f"nemesis-heal-oneway({a},{b})")
+    elif kind == "surge":
+        src, dst, factor = args
+        net = injector._network()
+        injector.at(t, lambda: net.set_delay_surge(src, dst, factor),
+                    f"nemesis-surge({src},{dst},{factor})")
+        injector.at(t + hold, lambda: net.clear_delay_surge(src, dst),
+                    f"nemesis-surge-end({src},{dst})")
+    elif kind == "grey":
+        src, dst, prob = args
+        net = injector._network()
+        injector.at(t, lambda: net.set_grey_loss(src, dst, prob),
+                    f"nemesis-grey({src},{dst},{prob})")
+        injector.at(t + hold, lambda: net.clear_grey_loss(src, dst),
+                    f"nemesis-grey-end({src},{dst})")
+    elif kind == "dup":
+        src, dst, prob = args
+        net = injector._network()
+        injector.at(t, lambda: net.set_dup_storm(src, dst, prob),
+                    f"nemesis-dup({src},{dst},{prob})")
+        injector.at(t + hold, lambda: net.clear_dup_storm(src, dst),
+                    f"nemesis-dup-end({src},{dst})")
+    elif kind == "flap":
+        a, b, period, cycles = args
+        for c in range(cycles):
+            injector.at(t + 2 * c * period,
+                        lambda: injector._cut(a, b, actor),
+                        f"nemesis-flap-cut({a},{b})")
+            injector.at(t + (2 * c + 1) * period,
+                        lambda: injector._heal(a, b, actor),
+                        f"nemesis-flap-heal({a},{b})")
+    elif kind == "partition":
+        pairs = [
+            (a, b)
+            for i, block in enumerate(args)
+            for a in block
+            for other in args[i + 1:]
+            for b in other
+        ]
+
+        def impose(ps=tuple(pairs)):
+            for a, b in ps:
+                injector._cut(a, b, actor)
+
+        def release(ps=tuple(pairs)):
+            for a, b in ps:
+                injector._heal(a, b, actor)
+
+        injector.at(t, impose, f"nemesis-partition({list(map(list, args))})")
+        injector.at(t + hold, release, "nemesis-partition-end")
+    else:
+        raise ValueError(f"unknown fault kind: {kind}")
+
+
+class Nemesis:
+    """Plan-then-apply wrapper generalizing :class:`RandomFailures`.
+
+    Draws a full schedule from ``rng`` at install time and applies it;
+    the planned schedule is kept on ``self.actions`` so a run can be
+    reported, serialized, and replayed exactly.
+    """
+
+    def __init__(self, injector: FailureInjector, rng: random.Random,
+                 mix: Optional[NemesisMix] = None,
+                 horizon: float = 300.0, start: float = 10.0,
+                 mean_gap: float = 20.0, burst: Tuple[int, int] = (1, 3),
+                 mean_hold: float = 15.0):
+        self.injector = injector
+        self.rng = rng
+        self.mix = mix or NemesisMix()
+        self.horizon = horizon
+        self.start = start
+        self.mean_gap = mean_gap
+        self.burst = burst
+        self.mean_hold = mean_hold
+        self.actions: list = []
+
+    def install(self) -> list:
+        """Plan a schedule, apply it, and return the planned actions."""
+        self.actions = plan_nemesis(
+            self.rng, sorted(self.injector.graph.nodes), self.mix,
+            horizon=self.horizon, start=self.start, mean_gap=self.mean_gap,
+            burst=self.burst, mean_hold=self.mean_hold,
+        )
+        apply_schedule(self.injector, self.actions)
+        return self.actions

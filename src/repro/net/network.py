@@ -13,6 +13,17 @@ performance failures):
   how the paper distinguishes performance failures from crashes;
 * **duplication** is supported for robustness testing (off by default).
 
+**Per-link perturbations** refine all three failure classes for
+adversarial testing: a *delay surge* multiplies one direction's latency
+draws (a sustained performance failure on one route), *grey loss*
+overrides the loss probability on one direction (a link that is up but
+lossy — neither cleanly cut nor healthy), and a *duplication storm*
+raises the duplication probability on one direction.  Directed cuts
+live in :class:`CommGraph` (``can_send``); the transport consults the
+directed relation, so an asymmetric cut drops one direction's traffic
+while the reverse flows normally.  With no perturbations installed the
+draw sequence is byte-identical to the unperturbed transport.
+
 **Batching** (``batch_window > 0``): logical messages enqueued for the
 same (src, dst) pair within one window coalesce into a single batch
 envelope — one latency draw, one loss draw, one delivery event for the
@@ -62,6 +73,8 @@ class NetworkStats:
     dropped_dst_down: int = 0
     duplicated: int = 0
     slow: int = 0
+    #: messages whose delay was stretched by a per-link delay surge
+    surged: int = 0
     #: physical transmissions (one latency/loss draw each)
     envelopes: int = 0
     #: logical messages carried by those envelopes
@@ -119,6 +132,11 @@ class Network:
         self.dup_prob = dup_prob
         self.batch_window = batch_window
         self.stats = NetworkStats()
+        # per-(src, dst) adversarial perturbations; empty dicts by
+        # default so the unperturbed draw sequence is untouched
+        self._link_loss: Dict[Tuple[int, int], float] = {}
+        self._link_surge: Dict[Tuple[int, int], float] = {}
+        self._link_dup: Dict[Tuple[int, int], float] = {}
         self._handlers: dict[int, DeliveryHandler] = {}
         # per-network message ids: two clusters built in one process
         # must see identical id streams for the same seed (a process-
@@ -143,6 +161,50 @@ class Network:
     def delta(self) -> float:
         """The δ bound the protocol's timers are derived from."""
         return self.latency.bound
+
+    # -- per-link perturbations (adversarial fault model) ----------------------
+
+    def set_grey_loss(self, src: int, dst: int, prob: float) -> None:
+        """Override the loss probability on the ``src`` → ``dst`` route.
+
+        Models a *grey* link: up, but dropping a fraction of its
+        traffic — the omission failure that is neither a clean cut nor
+        a healthy edge.
+        """
+        if not 0.0 <= prob < 1.0:
+            raise ValueError(f"loss prob out of range: {prob}")
+        self._link_loss[(src, dst)] = prob
+
+    def clear_grey_loss(self, src: int, dst: int) -> None:
+        self._link_loss.pop((src, dst), None)
+
+    def set_delay_surge(self, src: int, dst: int, factor: float) -> None:
+        """Multiply every ``src`` → ``dst`` latency draw by ``factor``.
+
+        A sustained performance failure on one route: messages still
+        arrive, but (for factors pushing the draw past δ) later than
+        the protocol's timers allow.
+        """
+        if factor < 1.0:
+            raise ValueError(f"surge factor must be >= 1: {factor}")
+        self._link_surge[(src, dst)] = factor
+
+    def clear_delay_surge(self, src: int, dst: int) -> None:
+        self._link_surge.pop((src, dst), None)
+
+    def set_dup_storm(self, src: int, dst: int, prob: float) -> None:
+        """Override the duplication probability on ``src`` → ``dst``."""
+        if not 0.0 <= prob < 1.0:
+            raise ValueError(f"dup prob out of range: {prob}")
+        self._link_dup[(src, dst)] = prob
+
+    def clear_dup_storm(self, src: int, dst: int) -> None:
+        self._link_dup.pop((src, dst), None)
+
+    def perturbed_links(self) -> set[Tuple[int, int]]:
+        """Routes currently carrying any perturbation (for reports)."""
+        return (set(self._link_loss) | set(self._link_surge)
+                | set(self._link_dup))
 
     def register(self, pid: int, handler: DeliveryHandler) -> None:
         """Attach the delivery callback for processor ``pid``."""
@@ -196,15 +258,17 @@ class Network:
         latency models.
         """
         first = batch[0]
+        key = (first.src, first.dst)
         n = len(batch)
         self.stats.envelopes += 1
         self.stats.enveloped_messages += n
-        if not self.graph.has_edge(first.src, first.dst):
+        if not self.graph.can_send(first.src, first.dst):
             self.stats.dropped_no_edge += n
             for message in batch:
                 self._trace_drop(message, "no-edge")
             return
-        if self.loss_prob and self.rng.random() < self.loss_prob:
+        loss = self._link_loss.get(key, self.loss_prob)
+        if loss and self.rng.random() < loss:
             self.stats.dropped_lost += n
             for message in batch:
                 self._trace_drop(message, "lost")
@@ -213,12 +277,19 @@ class Network:
         if self.slow_prob and self.rng.random() < self.slow_prob:
             delay *= self.slow_factor
             self.stats.slow += n
+        surge = self._link_surge.get(key)
+        if surge is not None:
+            delay *= surge
+            self.stats.surged += n
         self._schedule_delivery(batch, max(delay - held, 0.0))
-        if self.dup_prob and self.rng.random() < self.dup_prob:
+        dup = self._link_dup.get(key, self.dup_prob)
+        if dup and self.rng.random() < dup:
             self.stats.duplicated += n
             self.stats.envelopes += 1
             self.stats.enveloped_messages += n
             dup_delay = self.latency.delay(first.src, first.dst, self.rng)
+            if surge is not None:
+                dup_delay *= surge
             self._schedule_delivery(batch, max(dup_delay - held, 0.0))
 
     def _schedule_delivery(self, batch: Tuple[Message, ...],
@@ -228,7 +299,7 @@ class Network:
 
     def _deliver(self, batch: Tuple[Message, ...]) -> None:
         first = batch[0]
-        if not self.graph.has_edge(first.src, first.dst):
+        if not self.graph.can_send(first.src, first.dst):
             self.stats.dropped_in_flight += len(batch)
             for message in batch:
                 self._trace_drop(message, "in-flight")

@@ -10,6 +10,16 @@ remove edges three ways: an individual *link cut*, a *node crash*
 (removes all incident edges), or a *partition* (removes all inter-block
 edges).  Recoveries restore them.  ``version`` increments on every
 change so observers can cheaply detect staleness.
+
+Beyond the paper's undirected model, the graph also supports
+**directed** (one-way) cuts — ``a`` can still reach ``b`` while ``b``'s
+messages to ``a`` vanish.  Real omission failures are frequently
+asymmetric (a congested uplink, a one-way routing hole), and they are
+exactly the non-transitive connectivity the protocol must survive.
+``can_send`` is the directed query the transport uses; ``has_edge``
+stays the *symmetric* "timely in both directions" relation, so an
+asymmetric link never counts as a clique edge and a cluster containing
+one is correctly reported as non-transitive.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ class CommGraph:
         if not self.nodes:
             raise ValueError("a system needs at least one processor")
         self._cut_links: set[FrozenSet[int]] = set()
+        self._oneway_cuts: set[tuple[int, int]] = set()
         self._down_nodes: set[int] = set()
         self.version = 0
 
@@ -41,15 +52,35 @@ class CommGraph:
         self._check(p)
         return p not in self._down_nodes
 
-    def has_edge(self, a: int, b: int) -> bool:
-        """True if ``a`` and ``b`` can currently exchange timely messages."""
-        self._check(a)
-        self._check(b)
-        if a == b:
-            return a not in self._down_nodes
-        if a in self._down_nodes or b in self._down_nodes:
+    def can_send(self, src: int, dst: int) -> bool:
+        """True if a message from ``src`` can currently reach ``dst``.
+
+        The *directed* reachability query: a one-way cut blocks only
+        this direction, while an undirected cut or a crashed endpoint
+        blocks both.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return src not in self._down_nodes
+        if src in self._down_nodes or dst in self._down_nodes:
             return False
-        return _edge(a, b) not in self._cut_links
+        if _edge(src, dst) in self._cut_links:
+            return False
+        return (src, dst) not in self._oneway_cuts
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` can currently exchange timely messages
+        *in both directions* (the paper's undirected edge relation).
+
+        An asymmetric link — one direction cut — is not an edge: the
+        protocol's clique/transitivity reasoning (assumption A2) needs
+        mutual timely delivery.
+        """
+        if a == b:
+            self._check(a)
+            return a not in self._down_nodes
+        return self.can_send(a, b) and self.can_send(b, a)
 
     def neighbors(self, p: int) -> set[int]:
         """Processors adjacent to ``p`` (excluding ``p`` itself)."""
@@ -120,6 +151,22 @@ class CommGraph:
         self._cut_links.discard(_edge(a, b))
         self.version += 1
 
+    def cut_link_oneway(self, src: int, dst: int) -> None:
+        """Sever only the ``src`` → ``dst`` direction (asymmetric omission)."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise ValueError(f"self-edge at {src}")
+        self._oneway_cuts.add((src, dst))
+        self.version += 1
+
+    def heal_link_oneway(self, src: int, dst: int) -> None:
+        """Restore the ``src`` → ``dst`` direction."""
+        self._check(src)
+        self._check(dst)
+        self._oneway_cuts.discard((src, dst))
+        self.version += 1
+
     def crash_node(self, p: int) -> None:
         """Take processor ``p`` down; all its edges disappear."""
         self._check(p)
@@ -157,6 +204,8 @@ class CommGraph:
                 if a < b:
                     if block_of[a] == block_of[b]:
                         self._cut_links.discard(_edge(a, b))
+                        self._oneway_cuts.discard((a, b))
+                        self._oneway_cuts.discard((b, a))
                     else:
                         self._cut_links.add(_edge(a, b))
         self.version += 1
@@ -164,6 +213,7 @@ class CommGraph:
     def heal_all(self) -> None:
         """Restore the failure-free single clique (links only, not crashes)."""
         self._cut_links.clear()
+        self._oneway_cuts.clear()
         self.version += 1
 
     # -- helpers -----------------------------------------------------------
@@ -174,4 +224,5 @@ class CommGraph:
 
     def __repr__(self) -> str:
         return (f"CommGraph(n={len(self.nodes)}, cut={len(self._cut_links)}, "
+                f"oneway={len(self._oneway_cuts)}, "
                 f"down={sorted(self._down_nodes)}, v={self.version})")

@@ -41,6 +41,7 @@ VP_ABANDON = "vp.abandon"         # a higher id arrived during the 2delta wait
 VP_COMMIT = "vp.commit"           # initiator committed the new view
 VP_JOIN = "vp.join"               # a processor committed to a partition
 VP_COMMIT_TIMEOUT = "vp.commit-timeout"  # Fig. 6's 3delta timer fired
+VP_COMMIT_EXCLUDED = "vp.commit-excluded"  # committed view excludes us (S2 guard)
 
 # -- rule R5: Update-Copies-in-View (Fig. 9, §6) ---------------------------
 RECOVER_START = "recover.start"
@@ -59,6 +60,9 @@ TXN_COMMIT = "txn.commit"
 TXN_ABORT = "txn.abort"
 TXN_INDOUBT = "txn.indoubt"   # prepared participant lost its decide
 TXN_RESOLVE = "txn.resolve"   # resolver learned the 2PC outcome
+
+# -- runtime invariant auditor ----------------------------------------------
+AUDIT_VIOLATION = "audit.violation"
 
 # -- simulation kernel (opt-in; very chatty) --------------------------------
 SIM_STEP = "sim.step"

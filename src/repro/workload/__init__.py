@@ -1,6 +1,14 @@
 """Workloads, scenarios, and the experiment harness."""
 
 from .generator import WorkloadGenerator, WorkloadSpec, body_for
+from .hunt import (
+    HuntConfig,
+    HuntFinding,
+    HuntReport,
+    ScheduledNemesis,
+    hunt,
+    replay_artifact,
+)
 from .parallel import default_workers, portable_result, run_many
 from .runner import (
     ExperimentResult,
@@ -14,6 +22,10 @@ from .tables import render_series, render_table
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "HuntConfig",
+    "HuntFinding",
+    "HuntReport",
+    "ScheduledNemesis",
     "WorkloadGenerator",
     "WorkloadSpec",
     "averaged",
@@ -21,9 +33,11 @@ __all__ = [
     "build_cluster",
     "default_workers",
     "grid",
+    "hunt",
     "portable_result",
     "render_series",
     "render_table",
+    "replay_artifact",
     "run_experiment",
     "run_many",
     "sweep",

@@ -40,6 +40,7 @@ class ExperimentSpec:
     retries: int = 0
     check: bool = False  # run the 1SR checker afterwards (small runs only)
     trace: bool = False  # collect a structured event trace (cluster.tracer)
+    audit: bool = False  # hook in the runtime invariant auditor
     #: concurrent clients per processor (>1 creates same-tick fan-out
     #: overlap, which is what transport batching coalesces)
     clients: int = 1
@@ -69,6 +70,9 @@ class ExperimentResult:
     #: wall-clock seconds spent inside ``cluster.run`` — NOT
     #: deterministic, deliberately excluded from :meth:`fingerprint`
     wall_seconds: float = 0.0
+    #: runtime invariant violations (as plain dicts, so results cross
+    #: process boundaries); empty unless ``spec.audit`` was set
+    audit_violations: tuple = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -95,6 +99,7 @@ class ExperimentResult:
             "events_dispatched": self.events_dispatched,
             "registry": (self.registry.snapshot()
                          if self.registry is not None else None),
+            "audit_violations": [dict(v) for v in self.audit_violations],
         }
 
     @property
@@ -153,6 +158,7 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
         latency=spec.latency, config=spec.config,
         protocol=protocol_factory(spec.protocol),
         trace=spec.trace,
+        audit=spec.audit,
     )
     pids = cluster.pids
     copies = spec.copies_per_object or len(pids)
@@ -198,8 +204,17 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     aborted = len(cluster.history.aborted())
     one_copy_ok: Optional[bool] = None
     if spec.check:
-        result = cluster.check_one_copy_serializable()
-        one_copy_ok = result
+        from ..analysis.one_copy import InconclusiveCheck
+        try:
+            one_copy_ok = cluster.check_one_copy_serializable()
+        except InconclusiveCheck:
+            one_copy_ok = None  # too many records for the exact checker
+    audit_violations: tuple = ()
+    if cluster.auditor is not None:
+        cluster.auditor.finalize()
+        audit_violations = tuple(
+            v.to_dict() for v in cluster.auditor.violations
+        )
     return ExperimentResult(
         spec=spec,
         committed=committed,
@@ -211,6 +226,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         registry=collect_registry(cluster),
         events_dispatched=cluster.sim.dispatched,
         wall_seconds=wall_seconds,
+        audit_violations=audit_violations,
     )
 
 
@@ -224,6 +240,9 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
     """
     registry = MetricsRegistry()
     registry.counter("sim.dispatched").inc(cluster.sim.dispatched)
+    if cluster.auditor is not None:
+        registry.counter("audit.violations").inc(
+            len(cluster.auditor.violations))
     history = cluster.history
     committed = history.committed()
     registry.counter("txn.committed").inc(len(committed))

@@ -1,0 +1,244 @@
+"""Unit tests for the runtime invariant auditor.
+
+Each test feeds the auditor a synthetic event stream that violates (or
+honours) exactly one invariant and checks the verdict — the auditor is
+pure observation, so no simulator is needed.
+"""
+
+from repro.audit import InvariantAuditor
+from repro.core.ids import VpId
+from repro.core.views import CopyPlacement
+
+
+V1 = VpId(1, 1)
+V2 = VpId(2, 2)
+
+
+def placement_xyz():
+    placement = CopyPlacement()
+    placement.place("x", [1, 2, 3])
+    return placement
+
+
+class FakeState:
+    def __init__(self, assigned=True, cur_id=V1, lview=(1, 2, 3),
+                 locked=()):
+        self.assigned = assigned
+        self.cur_id = cur_id
+        self.lview = set(lview)
+        self.locked = set(locked)
+
+
+# -- S1/S2/S3 ----------------------------------------------------------------
+
+
+def test_clean_join_sequence_is_ok():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=1.0, pid=2, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_depart(time=5.0, pid=1, vpid=V1)
+    auditor.on_depart(time=5.0, pid=2, vpid=V1)
+    auditor.on_join(time=6.0, pid=1, vpid=V2, view=frozenset({1, 2}))
+    auditor.on_join(time=6.0, pid=2, vpid=V2, view=frozenset({1, 2}))
+    auditor.finalize()
+    assert auditor.ok
+    assert auditor.report() == "auditor: all invariants held"
+
+
+def test_s1_two_views_for_one_vpid():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=1.0, pid=2, vpid=V1, view=frozenset({1, 2, 3}))
+    assert [v.invariant for v in auditor.violations] == ["S1"]
+
+
+def test_s2_view_must_contain_joiner():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=3, vpid=V1, view=frozenset({1, 2}))
+    assert [v.invariant for v in auditor.violations] == ["S2"]
+
+
+def test_s3_depart_after_newer_join():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=5.0, pid=1, vpid=V2, view=frozenset({1, 2}))
+    auditor.on_depart(time=7.0, pid=1, vpid=V1)  # too late: V2 began at 5
+    auditor.finalize()
+    assert [v.invariant for v in auditor.violations] == ["S3"]
+
+
+def test_s3_missing_depart_flagged_at_finalize():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=5.0, pid=1, vpid=V2, view=frozenset({1, 2}))
+    assert auditor.ok, "obligation is pending, not yet a violation"
+    auditor.finalize()
+    assert [v.invariant for v in auditor.violations] == ["S3"]
+
+
+def test_s3_same_instant_depart_and_join_is_legal():
+    """Fig. 5/6 commit the new view and depart the old one in the same
+    handler — the same-instant race must not be flagged."""
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=5.0, pid=1, vpid=V2, view=frozenset({1, 2}))
+    auditor.on_depart(time=5.0, pid=1, vpid=V1)
+    auditor.finalize()
+    assert auditor.ok
+
+
+def test_s3_checked_against_late_joiner_of_old_partition():
+    """The member of an old view that joins only after a newer view
+    already includes it is caught by the reverse direction."""
+    auditor = InvariantAuditor()
+    auditor.on_join(time=5.0, pid=1, vpid=V2, view=frozenset({1, 2}))
+    auditor.on_join(time=6.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.finalize()
+    assert "S3" in [v.invariant for v in auditor.violations]
+
+
+# -- R1 / R3 (logical accesses) ----------------------------------------------
+
+
+def test_r1_access_in_minority_view():
+    auditor = InvariantAuditor(placement_xyz())
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1}))
+    auditor.violations.clear()  # the S2-clean join; isolate the R1 check
+    auditor.on_logical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                              obj="x", vpid=V1, targets=(1,))
+    assert [v.invariant for v in auditor.violations] == ["R1"]
+
+
+def test_r3_write_must_hit_all_in_view_copies():
+    auditor = InvariantAuditor(placement_xyz())
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2, 3}))
+    auditor.on_logical_access(time=2.0, pid=1, txn=(1, 1), kind="w",
+                              obj="x", vpid=V1, targets=(1, 2))  # missing 3
+    assert [v.invariant for v in auditor.violations] == ["R3"]
+
+
+def test_clean_read_and_write_pass():
+    auditor = InvariantAuditor(placement_xyz())
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2, 3}))
+    auditor.on_logical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                              obj="x", vpid=V1, targets=(2,))
+    auditor.on_logical_access(time=3.0, pid=1, txn=(1, 1), kind="w",
+                              obj="x", vpid=V1, targets=(1, 2, 3))
+    assert auditor.ok
+
+
+def test_unknown_vpid_is_skipped_not_flagged():
+    auditor = InvariantAuditor(placement_xyz())
+    auditor.on_logical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                              obj="x", vpid=V1, targets=(1,))
+    assert auditor.ok
+
+
+# -- R5 / view match / placement (physical accesses) -------------------------
+
+
+def test_r5_serving_a_locked_copy():
+    auditor = InvariantAuditor(placement_xyz())
+    state = FakeState(locked={"x"})
+    auditor.on_physical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                               obj="x", vpid=V1, state=state)
+    assert [v.invariant for v in auditor.violations] == ["R5"]
+
+
+def test_view_match_serving_foreign_partition():
+    auditor = InvariantAuditor(placement_xyz())
+    state = FakeState(cur_id=V2)
+    auditor.on_physical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                               obj="x", vpid=V1, state=state)
+    assert [v.invariant for v in auditor.violations] == ["view-match"]
+
+
+def test_placement_serving_unheld_object():
+    auditor = InvariantAuditor(placement_xyz())
+    state = FakeState(lview={1, 2, 3, 4})
+    auditor.on_physical_access(time=2.0, pid=4, txn=(1, 1), kind="r",
+                               obj="x", vpid=V1, state=state)
+    assert [v.invariant for v in auditor.violations] == ["placement"]
+
+
+def test_clean_physical_access_passes():
+    auditor = InvariantAuditor(placement_xyz())
+    auditor.on_physical_access(time=2.0, pid=1, txn=(1, 1), kind="r",
+                               obj="x", vpid=V1, state=FakeState())
+    assert auditor.ok
+
+
+# -- 2PC safety --------------------------------------------------------------
+
+
+def test_2pc_decision_flip_flagged():
+    auditor = InvariantAuditor()
+    auditor.on_decision(1.0, 1, (1, 1), "undecided")
+    auditor.on_decision(2.0, 1, (1, 1), "abort")
+    auditor.on_decision(3.0, 1, (1, 1), "commit")
+    # the flip itself plus the conflict with the first decided outcome
+    assert {v.invariant for v in auditor.violations} == {"2PC-decision"}
+    assert "flipped" in auditor.violations[0].detail
+
+
+def test_2pc_undecided_then_commit_is_clean():
+    auditor = InvariantAuditor()
+    auditor.on_decision(1.0, 1, (1, 1), "undecided")
+    auditor.on_decision(2.0, 1, (1, 1), "commit")
+    auditor.on_decision_applied(3.0, 2, (1, 1), "commit")
+    assert auditor.ok
+
+
+def test_2pc_divergent_applied_outcomes():
+    auditor = InvariantAuditor()
+    auditor.on_decision_applied(1.0, 2, (1, 1), "abort")
+    auditor.on_decision_applied(2.0, 3, (1, 1), "commit")
+    assert [v.invariant for v in auditor.violations] == ["2PC-apply"]
+
+
+def test_2pc_commit_decided_after_applied_abort():
+    """The coordinator-side R4 race the hunter caught: a processor
+    already rolled the transaction back, then commit was decided."""
+    auditor = InvariantAuditor()
+    auditor.on_decision(1.0, 1, (1, 1), "undecided")
+    auditor.on_decision_applied(2.0, 1, (1, 1), "abort")
+    auditor.on_decision(3.0, 1, (1, 1), "commit")
+    assert "2PC-decision" in [v.invariant for v in auditor.violations]
+
+
+def test_2pc_apply_contradicting_coordinator_log():
+    auditor = InvariantAuditor()
+    auditor.on_decision(1.0, 1, (1, 1), "commit")
+    auditor.on_decision_applied(2.0, 2, (1, 1), "abort")
+    assert [v.invariant for v in auditor.violations] == ["2PC-apply"]
+
+
+# -- plumbing ----------------------------------------------------------------
+
+
+def test_violation_carries_context_and_serializes():
+    auditor = InvariantAuditor()
+    auditor.on_join(time=1.0, pid=1, vpid=V1, view=frozenset({1, 2}))
+    auditor.on_join(time=1.5, pid=3, vpid=V1, view=frozenset({1, 2}))
+    violation = auditor.violations[0]
+    assert violation.context, "violations must carry recent trace context"
+    data = violation.to_dict()
+    assert data["invariant"] == "S2"
+    assert data["context"][-1]["event"] == "join"
+    assert "S2" in str(violation)
+
+
+def test_audited_cluster_run_stays_clean():
+    """End-to-end: a partitioned-and-healed VP run audits clean."""
+    from repro import Cluster
+
+    cluster = Cluster(processors=3, seed=7, audit=True)
+    cluster.place("x", holders=[1, 2, 3], initial=0)
+    cluster.start()
+    cluster.injector.partition_at(30.0, [{1, 2}, {3}])
+    cluster.injector.heal_all_at(80.0)
+    outcomes = [cluster.write_once(1, "x", 1)]
+    cluster.run(until=200.0)
+    cluster.auditor.finalize()
+    assert cluster.auditor.ok, cluster.auditor.report()
+    assert outcomes[0].value[0]

@@ -158,3 +158,156 @@ def test_random_link_failures():
     sim.run(until=150.0)
     cuts = [l for _, l in injector.log if "cut" in l]
     assert cuts
+
+
+# -- ownership claims: concurrent fault actors -------------------------------
+
+
+def test_random_heal_must_not_resurrect_scripted_cut():
+    """Regression: a random link-repair used to silently heal a link a
+    scripted ``cut_at`` deliberately held down."""
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector._cut(1, 2)             # scripted: down for the whole run
+    injector._cut(1, 2, actor="rand-link(1,2)")
+    injector._heal(1, 2, actor="rand-link(1,2)")
+    assert not graph.has_edge(1, 2)  # script still owns the cut
+    injector._heal(1, 2)             # the scripted heal releases it
+    assert graph.has_edge(1, 2)
+
+
+def test_random_recover_must_not_undo_scripted_crash():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    proc = FakeProcessor()
+    injector = FailureInjector(sim, graph, {1: proc})
+    injector._crash(1)                            # scripted claim
+    injector._crash(1, actor="rand-node(1)")      # random claim on top
+    injector._recover(1, actor="rand-node(1)")
+    assert not graph.node_up(1)
+    assert "recover" not in proc.events
+    injector._recover(1)
+    assert graph.node_up(1)
+    assert proc.events == ["crash", "crash", "recover"]
+
+
+def test_random_failures_skip_foreign_claimed_elements():
+    """A RandomFailures cycle never piles onto (or repairs) an element
+    another actor holds down."""
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.cut_at(0.0, 1, 2)
+    RandomFailures(injector, random.Random(3), link_mttf=2.0,
+                   link_mttr=0.5, horizon=100.0).install()
+    sim.run(until=200.0)
+    assert not graph.has_edge(1, 2), "scripted cut survived random churn"
+    random_cuts = [l for _, l in injector.log if l == "random-cut(1,2)"]
+    assert random_cuts == [], "random process must skip the claimed link"
+
+
+def test_partition_at_rewrites_claims():
+    """partition_at stays authoritative: it clears intra-block claims
+    (foreign ones included) and owns every inter-block cut."""
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3, 4])
+    injector = FailureInjector(sim, graph)
+    injector._cut(1, 2, actor="nemesis#0")
+    injector.partition_at(1.0, [{1, 2}, {3, 4}])
+    sim.run(until=2.0)
+    assert graph.has_edge(1, 2)
+    assert injector.claims_on_link(1, 2) == frozenset()
+    assert injector.claims_on_link(1, 3) == frozenset({"script"})
+
+
+def test_heal_all_force_clears_link_claims():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3])
+    injector = FailureInjector(sim, graph)
+    injector._cut(1, 2, actor="nemesis#4")
+    injector._cut_oneway(2, 3, actor="nemesis#5")
+    injector.heal_all_at(1.0)
+    sim.run(until=2.0)
+    assert graph.has_edge(1, 2)
+    assert graph.can_send(2, 3)
+    assert injector.claims_on_link(1, 2) == frozenset()
+    assert injector.claims_on_oneway(2, 3) == frozenset()
+
+
+# -- edge cases ---------------------------------------------------------------
+
+
+def test_recover_never_crashed_pid_is_harmless():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    proc = FakeProcessor()
+    injector = FailureInjector(sim, graph, {1: proc})
+    injector.recover_at(1.0, 1)
+    sim.run(until=2.0)
+    assert graph.node_up(1)
+    assert proc.events == ["recover"]  # processors tolerate spurious recover
+
+
+def test_cut_already_cut_link_needs_single_heal():
+    """Cutting twice under one actor is idempotent — one heal restores."""
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.cut_at(1.0, 1, 2)
+    injector.cut_at(2.0, 1, 2)
+    injector.heal_at(3.0, 1, 2)
+    sim.run(until=4.0)
+    assert graph.has_edge(1, 2)
+
+
+def test_oneway_scripted_cut_and_heal():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.cut_oneway_at(1.0, 1, 2)
+    injector.heal_oneway_at(2.0, 1, 2)
+    sim.run(until=1.5)
+    assert not graph.can_send(1, 2)
+    assert graph.can_send(2, 1)
+    sim.run(until=3.0)
+    assert graph.can_send(1, 2)
+    labels = [l for _, l in injector.log]
+    assert labels == ["cut-oneway(1,2)", "heal-oneway(1,2)"]
+
+
+def test_flap_link_schedule():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.flap_link_at(1.0, 1, 2, period=1.0, cycles=2)
+    sim.run(until=1.5)
+    assert not graph.has_edge(1, 2)
+    sim.run(until=2.5)
+    assert graph.has_edge(1, 2)
+    sim.run(until=3.5)
+    assert not graph.has_edge(1, 2)
+    sim.run(until=5.0)
+    assert graph.has_edge(1, 2)
+    labels = [l for _, l in injector.log]
+    assert labels == ["flap-cut(1,2)", "flap-heal(1,2)",
+                      "flap-cut(1,2)", "flap-heal(1,2)"]
+
+
+def test_flap_validation():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    with pytest.raises(ValueError):
+        injector.flap_link_at(1.0, 1, 2, period=0.0, cycles=1)
+    with pytest.raises(ValueError):
+        injector.flap_link_at(1.0, 1, 2, period=1.0, cycles=0)
+
+
+def test_transport_actions_require_network():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    injector.grey_loss_at(1.0, 1, 2, 0.5)
+    with pytest.raises(RuntimeError):
+        sim.run(until=2.0)

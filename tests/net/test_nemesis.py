@@ -1,0 +1,119 @@
+"""Unit tests for the nemesis: fault-schedule planning and application."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    CommGraph,
+    FailureInjector,
+    FaultAction,
+    NemesisMix,
+    apply_schedule,
+    plan_nemesis,
+)
+from repro.net.nemesis import KINDS
+from repro.sim import Simulator
+
+
+def test_plan_is_deterministic_for_a_seed():
+    mix = NemesisMix()
+    one = plan_nemesis(random.Random(5), [1, 2, 3, 4], mix, horizon=200)
+    two = plan_nemesis(random.Random(5), [1, 2, 3, 4], mix, horizon=200)
+    assert one == two
+    assert one, "a 200-unit horizon must plan at least one action"
+
+
+def test_plan_respects_horizon_and_start():
+    actions = plan_nemesis(random.Random(1), [1, 2, 3], horizon=100,
+                           start=10.0)
+    assert all(10.0 <= a.time <= 100.0 for a in actions)
+    assert all(a.time + a.hold <= 100.0 + 1e-9 for a in actions)
+
+
+def test_plan_draws_only_known_kinds():
+    actions = plan_nemesis(random.Random(2), [1, 2, 3, 4], horizon=500)
+    assert {a.kind for a in actions} <= set(KINDS)
+
+
+def test_zero_weight_kind_never_planned():
+    mix = NemesisMix(crash=0.0, cut=1.0, oneway=0.0, surge=0.0, grey=0.0,
+                     dup=0.0, flap=0.0, partition=0.0)
+    actions = plan_nemesis(random.Random(3), [1, 2, 3], mix, horizon=500)
+    assert actions
+    assert {a.kind for a in actions} == {"cut"}
+
+
+def test_fault_action_dict_round_trip():
+    actions = plan_nemesis(random.Random(4), [1, 2, 3, 4], horizon=300)
+    for action in actions:
+        restored = FaultAction.from_dict(action.to_dict())
+        assert restored == action
+
+
+def test_partition_args_survive_json_round_trip():
+    """Partition blocks are nested tuples; JSON turns them into lists
+    and from_dict must re-freeze them."""
+    import json
+    action = FaultAction(time=5.0, kind="partition",
+                         args=((1, 2), (3, 4)), hold=10.0)
+    wire = json.loads(json.dumps(action.to_dict()))
+    assert FaultAction.from_dict(wire) == action
+
+
+def test_apply_schedule_cut_and_undo():
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3])
+    injector = FailureInjector(sim, graph)
+    apply_schedule(injector, [
+        FaultAction(time=1.0, kind="cut", args=(1, 2), hold=2.0),
+    ])
+    sim.run(until=1.5)
+    assert not graph.has_edge(1, 2)
+    sim.run(until=4.0)
+    assert graph.has_edge(1, 2)
+
+
+def test_apply_schedule_partition_is_composable():
+    """A nemesis partition is pairwise inter-block cuts under its own
+    actor, so undoing it never clobbers someone else's cut."""
+    sim = Simulator()
+    graph = CommGraph([1, 2, 3, 4])
+    injector = FailureInjector(sim, graph)
+    injector._cut(1, 3)  # scripted cut, independent of the nemesis
+    apply_schedule(injector, [
+        FaultAction(time=1.0, kind="partition", args=((1, 2), (3, 4)),
+                    hold=2.0),
+    ])
+    sim.run(until=1.5)
+    assert sorted(map(sorted, graph.clusters())) == [[1, 2], [3, 4]]
+    sim.run(until=5.0)
+    assert not graph.has_edge(1, 3), "scripted cut must survive the undo"
+    assert graph.has_edge(1, 4) and graph.has_edge(2, 3)
+
+
+def test_apply_schedule_crash_and_recover():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    apply_schedule(injector, [
+        FaultAction(time=1.0, kind="crash", args=(2,), hold=3.0),
+    ])
+    sim.run(until=2.0)
+    assert not graph.node_up(2)
+    sim.run(until=5.0)
+    assert graph.node_up(2)
+
+
+def test_apply_schedule_rejects_unknown_kind():
+    sim = Simulator()
+    graph = CommGraph([1, 2])
+    injector = FailureInjector(sim, graph)
+    with pytest.raises(ValueError):
+        apply_schedule(injector, [
+            FaultAction(time=1.0, kind="meteor", args=(), hold=1.0),
+        ])
+
+
+def test_mix_weights_complete():
+    assert set(NemesisMix().weights()) == set(KINDS)

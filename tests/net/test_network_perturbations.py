@@ -1,0 +1,134 @@
+"""Unit tests for per-link transport perturbations (the grey-failure
+knobs behind the nemesis: grey loss, delay surges, duplication storms)."""
+
+import random
+
+import pytest
+
+from repro.net import CommGraph, FixedLatency, Message, Network
+from repro.sim import Simulator
+
+
+def build(n=3, **kwargs):
+    sim = Simulator()
+    graph = CommGraph(range(1, n + 1))
+    net = Network(sim, graph, FixedLatency(1.0), random.Random(1), **kwargs)
+    inboxes = {p: [] for p in graph.nodes}
+    for p in graph.nodes:
+        net.register(p, lambda m, box=inboxes[p]: box.append(m))
+    return sim, graph, net, inboxes
+
+
+def test_grey_loss_affects_only_its_direction():
+    sim, _, net, inboxes = build()
+    net.set_grey_loss(1, 2, 0.99)
+    for _ in range(20):
+        net.send(Message(src=1, dst=2, kind="ping"))
+        net.send(Message(src=2, dst=1, kind="pong"))
+    sim.run()
+    assert len(inboxes[2]) == 20 - net.stats.dropped_lost
+    assert net.stats.dropped_lost >= 15
+    assert len(inboxes[1]) == 20  # the reverse route is untouched
+
+
+def test_grey_loss_clears():
+    sim, _, net, inboxes = build()
+    net.set_grey_loss(1, 2, 0.99)
+    net.clear_grey_loss(1, 2)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert len(inboxes[2]) == 1
+    assert net.stats.dropped_lost == 0
+
+
+def test_grey_loss_overrides_global_loss_prob():
+    """A per-link entry replaces (not compounds) the global loss rate."""
+    sim, _, net, inboxes = build(loss_prob=0.99)
+    net.set_grey_loss(1, 2, 0.0)
+    for _ in range(10):
+        net.send(Message(src=1, dst=2, kind="ping"))
+        net.send(Message(src=1, dst=3, kind="ping"))
+    sim.run()
+    assert len(inboxes[2]) == 10       # per-link 0.0 wins on this route
+    assert len(inboxes[3]) < 10        # global 0.99 still applies elsewhere
+
+
+def test_grey_loss_validation():
+    _, _, net, _ = build()
+    with pytest.raises(ValueError):
+        net.set_grey_loss(1, 2, 1.5)
+
+
+def test_delay_surge_stretches_latency():
+    sim, _, net, inboxes = build()
+    net.set_delay_surge(1, 2, 4.0)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert sim.now == pytest.approx(4.0)
+    assert len(inboxes[2]) == 1
+    assert net.stats.surged == 1
+    assert net.stats.delivered == 1
+
+
+def test_delay_surge_other_direction_unaffected():
+    sim, _, net, inboxes = build()
+    net.set_delay_surge(1, 2, 4.0)
+    net.send(Message(src=2, dst=1, kind="pong"))
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+    assert net.stats.surged == 0
+    assert len(inboxes[1]) == 1
+
+
+def test_delay_surge_clears():
+    sim, _, net, _ = build()
+    net.set_delay_surge(1, 2, 4.0)
+    net.clear_delay_surge(1, 2)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_delay_surge_validation():
+    _, _, net, _ = build()
+    with pytest.raises(ValueError):
+        net.set_delay_surge(1, 2, 0.5)
+
+
+def test_dup_storm_duplicates_per_link():
+    sim, _, net, inboxes = build()
+    net.set_dup_storm(1, 2, 0.99)
+    net.send(Message(src=1, dst=2, kind="ping"))
+    net.send(Message(src=2, dst=1, kind="pong"))
+    sim.run()
+    assert len(inboxes[2]) == 1 + net.stats.duplicated
+    assert net.stats.duplicated == 1  # seeded rng: the 0.99 draw hits
+    assert len(inboxes[1]) == 1
+
+
+def test_perturbed_links_lists_active_entries():
+    _, _, net, _ = build()
+    assert net.perturbed_links() == set()
+    net.set_grey_loss(1, 2, 0.5)
+    net.set_delay_surge(2, 3, 3.0)
+    net.set_dup_storm(3, 1, 0.4)
+    assert sorted(net.perturbed_links()) == [(1, 2), (2, 3), (3, 1)]
+    net.clear_grey_loss(1, 2)
+    net.clear_delay_surge(2, 3)
+    net.clear_dup_storm(3, 1)
+    assert net.perturbed_links() == set()
+
+
+def test_default_transmit_path_unchanged_without_perturbations():
+    """No perturbation entries: delivery times and stats are exactly
+    the unperturbed transport's (the trace-identity guarantee)."""
+    def run(perturb):
+        sim, _, net, inboxes = build()
+        if perturb:
+            net.set_delay_surge(1, 3, 2.0)
+            net.clear_delay_surge(1, 3)
+        net.send(Message(src=1, dst=2, kind="ping"))
+        sim.run()
+        return sim.now, len(inboxes[2]), net.stats.snapshot()
+
+    assert run(False) == run(True)

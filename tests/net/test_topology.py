@@ -154,3 +154,81 @@ def test_alive_nodes():
     graph = make_graph(3)
     graph.crash_node(2)
     assert graph.alive_nodes() == {1, 3}
+
+
+# -- directed (one-way) cuts -------------------------------------------------
+
+
+def test_oneway_cut_blocks_only_one_direction():
+    graph = make_graph(3)
+    graph.cut_link_oneway(1, 2)
+    assert not graph.can_send(1, 2)
+    assert graph.can_send(2, 1)
+    assert graph.can_send(1, 3) and graph.can_send(3, 1)
+
+
+def test_oneway_cut_is_not_an_edge():
+    """has_edge is the symmetric relation — an asymmetric link is no
+    clique edge, so A2 reasoning never counts it."""
+    graph = make_graph(3)
+    graph.cut_link_oneway(1, 2)
+    assert not graph.has_edge(1, 2)
+    assert not graph.has_edge(2, 1)
+
+
+def test_oneway_cut_makes_graph_non_transitive():
+    graph = make_graph(3)
+    graph.cut_link_oneway(1, 2)
+    # 1 and 2 still connect through 3, so one cluster — but not a clique.
+    assert graph.clusters() == [{1, 2, 3}]
+    assert not graph.is_clique({1, 2, 3})
+    assert not graph.is_transitive()
+
+
+def test_oneway_cuts_in_both_directions_act_like_a_full_cut():
+    graph = make_graph(2)
+    graph.cut_link_oneway(1, 2)
+    graph.cut_link_oneway(2, 1)
+    assert not graph.can_send(1, 2)
+    assert not graph.can_send(2, 1)
+    assert graph.clusters() == [{1}, {2}]
+    graph.heal_link_oneway(1, 2)
+    assert graph.can_send(1, 2)
+    assert not graph.can_send(2, 1)
+    assert not graph.has_edge(1, 2)
+
+
+def test_oneway_self_edge_rejected():
+    graph = make_graph(2)
+    with pytest.raises(ValueError):
+        graph.cut_link_oneway(1, 1)
+
+
+def test_partition_discards_intra_block_oneway_cuts():
+    graph = make_graph(4)
+    graph.cut_link_oneway(1, 2)   # intra-block: healed by the partition
+    graph.cut_link_oneway(3, 1)   # inter-block: subsumed by the full cut
+    graph.partition([{1, 2}, {3, 4}])
+    assert graph.can_send(1, 2) and graph.can_send(2, 1)
+    assert not graph.can_send(3, 1)
+    graph.heal_all()
+    assert graph.can_send(3, 1)
+    assert graph.is_transitive()
+
+
+def test_heal_all_clears_oneway_cuts():
+    graph = make_graph(3)
+    graph.cut_link_oneway(2, 3)
+    graph.heal_all()
+    assert graph.can_send(2, 3)
+
+
+def test_crash_dominates_oneway_state():
+    graph = make_graph(3)
+    graph.cut_link_oneway(1, 2)
+    graph.crash_node(2)
+    assert not graph.can_send(2, 1)
+    assert not graph.can_send(1, 2)
+    graph.recover_node(2)
+    assert graph.can_send(2, 1)      # recovery restores the live direction
+    assert not graph.can_send(1, 2)  # but never heals the one-way cut
