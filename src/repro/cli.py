@@ -84,6 +84,8 @@ def _spec_from(args, protocol: str) -> ExperimentSpec:
         processors=args.processors,
         objects=args.objects,
         copies_per_object=args.copies,
+        placement=args.placement,
+        directory=args.directory,
         seed=args.seed,
         duration=args.duration,
         config=config,
@@ -238,6 +240,8 @@ def cmd_hunt(args) -> int:
         protocol=args.protocol,
         processors=args.processors,
         objects=args.objects,
+        copies_per_object=args.copies,
+        placement=args.placement,
         seed=args.seed,
         campaigns=args.campaigns,
         workers=args.workers,
@@ -274,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--objects", type=int, default=10)
         p.add_argument("--copies", type=int, default=None,
                        help="copies per object (default: full replication)")
+        p.add_argument("--placement", default=None,
+                       choices=["hash-ring", "random-k", "weighted-home",
+                                "locality"],
+                       help="shard objects with this placement policy "
+                            "(default: legacy contiguous ring)")
+        p.add_argument("--directory", default=None,
+                       choices=["local", "cached"],
+                       help="routing directory kind (default: local "
+                            "full-map)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--duration", type=float, default=300.0)
         p.add_argument("--read-fraction", type=float, default=0.9)
@@ -359,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
                       default="virtual-partitions")
     ht_p.add_argument("--processors", type=int, default=4)
     ht_p.add_argument("--objects", type=int, default=3)
+    ht_p.add_argument("--copies", type=int, default=3,
+                      help="replication degree per object")
+    ht_p.add_argument("--placement", default=None,
+                      choices=["hash-ring", "random-k", "weighted-home",
+                               "locality"],
+                      help="hunt a sharded topology under this policy")
     ht_p.add_argument("--seed", type=int, default=0,
                       help="hunt seed; every campaign derives from it")
     ht_p.add_argument("--campaigns", type=int, default=50)

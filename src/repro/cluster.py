@@ -51,7 +51,9 @@ class Cluster:
                  loss_prob: float = 0.0, slow_prob: float = 0.0,
                  slow_factor: float = 5.0,
                  trace: "bool | Any" = False,
-                 audit: "bool | Any" = False):
+                 audit: "bool | Any" = False,
+                 directory: "Optional[str | Any]" = None,
+                 directory_capacity: Optional[int] = None):
         if isinstance(processors, int):
             pids = list(range(1, processors + 1))
         else:
@@ -96,6 +98,18 @@ class Cluster:
         self.tms: Dict[int, TransactionManager] = {
             pid: TransactionManager(self.protocols[pid], self.history)
             for pid in pids
+        }
+        if directory is not None:
+            from .shard.directory import make_directory
+            dir_factory = (make_directory(directory, directory_capacity)
+                           if isinstance(directory, str) else directory)
+            for pid, proto in self.protocols.items():
+                if hasattr(proto, "directory"):
+                    proto.directory = dir_factory(pid, self.placement)
+        #: per-processor routing directories (protocols that have one)
+        self.directories: Dict[int, Any] = {
+            pid: proto.directory for pid, proto in self.protocols.items()
+            if hasattr(proto, "directory")
         }
         self.injector = FailureInjector(self.sim, self.graph, self.processors,
                                         network=self.network)
@@ -144,7 +158,32 @@ class Cluster:
               initial: Any = None, size: int = 1) -> None:
         """Declare a logical object, its copy holders/weights, and initial
         value (installed on every copy with the T0 version)."""
-        self.placement.place(obj, holders, size=size)
+        self.placement.place(obj, holders, size=size, members=self.pids)
+        self._install_initial(obj, initial, size)
+
+    def place_many(self, assignments: Mapping[str, Mapping[int, int]
+                                              | Iterable[int]],
+                   initial: Any = None, size: int = 1) -> None:
+        """Declare many objects at once (all-or-nothing), e.g. from a
+        :meth:`~repro.shard.policy.PlacementPolicy.assign` result."""
+        self.placement.place_many(assignments, size=size, members=self.pids)
+        for obj in assignments:
+            self._install_initial(obj, initial, size)
+
+    def shard(self, policy: "str | Any", objects: Iterable[str],
+              degree: int = 3, seed: int = 0, initial: Any = None) -> None:
+        """Policy-driven setup: shard ``objects`` across the cluster.
+
+        ``policy`` is a policy name (see :data:`repro.shard.POLICIES`)
+        or a ready :class:`~repro.shard.policy.PlacementPolicy`.
+        """
+        from .shard.policy import PlacementPolicy, make_policy
+        if not isinstance(policy, PlacementPolicy):
+            policy = make_policy(policy, degree=degree, seed=seed)
+        self.place_many(policy.assign(list(objects), self.pids),
+                        initial=initial)
+
+    def _install_initial(self, obj: str, initial: Any, size: int) -> None:
         for pid in self.placement.copies(obj):
             self.processors[pid].store.place(
                 obj, initial=initial, date=None, size=size,

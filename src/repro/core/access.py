@@ -9,8 +9,15 @@ without the prepare round, a coordinator whose own view never changed
 could commit a transaction whose write was force-aborted elsewhere.
 
 The mixin expects the protocol façade to provide: ``processor``,
-``pid``, ``sim``, ``state``, ``placement``, ``config``, ``history``,
-``locks``, ``metrics``, ``distance(pid)``, and ``create_new_vp()``.
+``pid``, ``sim``, ``state``, ``placement``, ``directory``, ``config``,
+``history``, ``locks``, ``metrics``, ``distance(pid)``, and
+``create_new_vp()``.
+
+Client-side routing (which copy do I read? which copies take the
+write? is the object accessible from here?) goes through the
+``directory``; server-side checks — the R4 vote and the weakened-R4
+screen — stay on the authoritative ``placement``, because a vote must
+not depend on the voter's cache temperature.
 """
 
 from __future__ import annotations
@@ -37,10 +44,10 @@ class AccessMixin:
         """Read the nearest available copy of ``obj`` (rules R1 + R2)."""
         self.metrics.logical_reads += 1
         state = self.state
-        if not (state.assigned and self.placement.accessible(obj, state.lview)):
+        if not (state.assigned and self.directory.accessible(obj, state.lview)):
             self.metrics.abort("r", "inaccessible")
             raise AccessAborted(obj, "inaccessible")
-        candidates = self.placement.holders_by_distance(
+        candidates = self.directory.read_candidates(
             obj, state.lview, self.distance
         )
         if not candidates:
@@ -107,21 +114,21 @@ class AccessMixin:
         """Write every copy of ``obj`` in the view (rules R1 + R3)."""
         self.metrics.logical_writes += 1
         state = self.state
-        if not (state.assigned and self.placement.accessible(obj, state.lview)):
+        if not (state.assigned and self.directory.accessible(obj, state.lview)):
             self.metrics.abort("w", "inaccessible")
             raise AccessAborted(obj, "inaccessible")
         vpid = state.cur_id
-        targets = sorted(self.placement.copies(obj) & state.lview)
         version = ctx.next_version()
-        self.metrics.physical_write_rpcs += len(targets)
-        results = yield from self.processor.scatter_gather(
-            targets, "write",
+        targets, call = self.processor.scatter_to_copies(
+            self.directory, obj, state.lview, "write",
             lambda _server: {"obj": obj, "value": value, "v": vpid,
                              "txn": ctx.txn_id, "ts": ctx.timestamp,
                              "version": version},
             timeout=self.config.access_timeout,
             label=f"write({obj})",
         )
+        self.metrics.physical_write_rpcs += len(targets)
+        results = yield from call.gather()
         outcomes = []
         for server in targets:
             reply = results[server]
@@ -282,7 +289,7 @@ class AccessMixin:
     def available(self, obj: str, write: bool) -> bool:
         """R1 as a pure predicate (reads and writes gate identically)."""
         return (self.state.assigned
-                and self.placement.accessible(obj, self.state.lview))
+                and self.directory.accessible(obj, self.state.lview))
 
     # ------------------------------------------------------------------
     # server side: Fig. 12 — Physical-Access

@@ -22,6 +22,7 @@ from ..cc.factory import make_cc
 from ..net.latency import LatencyModel
 from ..node.processor import Processor
 from ..protocols.base import ProtocolMetrics, ReplicaControlProtocol
+from ..shard.directory import LocalDirectory
 from .access import AccessMixin
 from .config import ProtocolConfig
 from .copy_update import UpdateMixin
@@ -54,6 +55,10 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         self.state = ReplicaState(self.pid, self.sim, history,
                                   store=processor.store)
         self.cc = make_cc(config, self.sim, label=f"p{self.pid}.cc")
+        #: client-side routing directory (Figs. 10-11 lookups); the
+        #: cluster swaps in a CachedDirectory for partial-map runs.
+        #: Server-side votes stay on the authoritative ``placement``.
+        self.directory = LocalDirectory(placement)
         self.metrics = ProtocolMetrics()
         #: optional :class:`~repro.obs.trace.Tracer`; None = no tracing
         self.tracer = None

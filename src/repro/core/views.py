@@ -10,7 +10,7 @@ carry a strict majority of the object's total weight::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
 
 class CopyPlacement:
@@ -23,28 +23,89 @@ class CopyPlacement:
     # -- declaration ------------------------------------------------------------
 
     def place(self, obj: str, holders: Mapping[int, int] | Iterable[int],
-              size: int = 1) -> None:
+              size: int = 1,
+              members: Optional[Iterable[int]] = None) -> None:
         """Declare the copies of ``obj``.
 
         ``holders`` is either a ``{pid: weight}`` mapping or an iterable
-        of pids (all weight 1).  ``size`` is the transfer-cost unit used
-        by the partition-initialization benchmarks.
+        of pids (all weight 1); holder order is preserved (policies put
+        the primary copy first).  ``size`` is the transfer-cost unit
+        used by the partition-initialization benchmarks.  With
+        ``members`` given, every holder must be a known cluster member
+        — a mistyped pid fails here with a clear message instead of as
+        a bare ``KeyError`` deep in cluster setup.
         """
-        if obj in self._placement:
-            raise KeyError(f"{obj!r} already placed")
-        if isinstance(holders, Mapping):
-            weights = {int(p): int(w) for p, w in holders.items()}
-        else:
-            weights = {int(p): 1 for p in holders}
-        if not weights:
-            raise ValueError(f"{obj!r} needs at least one copy")
-        bad = [p for p, w in weights.items() if w < 1]
-        if bad:
-            raise ValueError(f"weights must be positive; bad processors {bad}")
-        if size < 1:
-            raise ValueError("size must be at least 1")
+        self._validate(obj, holders, size, members)
+        weights = self._normalize(obj, holders)
         self._placement[obj] = weights
         self._sizes[obj] = size
+
+    def place_many(self, assignments: Mapping[str, Mapping[int, int]
+                                              | Iterable[int]],
+                   size: int = 1,
+                   members: Optional[Iterable[int]] = None) -> None:
+        """Declare many objects at once, all-or-nothing.
+
+        Every assignment is validated *before* any is installed, so a
+        bad entry cannot leave the placement half-built; all problems
+        are reported together instead of one ``place`` failure at a
+        time.
+        """
+        problems = []
+        for obj, holders in assignments.items():
+            try:
+                self._validate(obj, holders, size, members)
+            except (KeyError, ValueError) as exc:
+                problems.append(f"{obj!r}: {exc.args[0]}")
+        if problems:
+            shown = "; ".join(problems[:5])
+            more = len(problems) - 5
+            suffix = f" (and {more} more)" if more > 0 else ""
+            raise ValueError(
+                f"invalid placement for {len(problems)} of "
+                f"{len(assignments)} objects: {shown}{suffix}"
+            )
+        for obj, holders in assignments.items():
+            self._placement[obj] = self._normalize(obj, holders)
+            self._sizes[obj] = size
+
+    def _validate(self, obj: str, holders: Mapping[int, int] | Iterable[int],
+                  size: int, members: Optional[Iterable[int]]) -> None:
+        if obj in self._placement:
+            raise KeyError(f"{obj!r} already placed")
+        weights = self._normalize(obj, holders)
+        if not weights:
+            raise ValueError(f"{obj!r} needs at least one copy")
+        bad = sorted(p for p, w in weights.items() if w < 1)
+        if bad:
+            raise ValueError(
+                f"copy weights must be positive integers; {obj!r} has "
+                f"non-positive weights on processors {bad}"
+            )
+        if size < 1:
+            raise ValueError(f"size must be at least 1, got {size}")
+        if members is not None:
+            known = set(members)
+            strangers = sorted(set(weights) - known)
+            if strangers:
+                raise ValueError(
+                    f"cannot place {obj!r} on {strangers}: not cluster "
+                    f"members (cluster is {sorted(known)})"
+                )
+
+    @staticmethod
+    def _normalize(obj: str,
+                   holders: Mapping[int, int] | Iterable[int]
+                   ) -> Dict[int, int]:
+        try:
+            if isinstance(holders, Mapping):
+                return {int(p): int(w) for p, w in holders.items()}
+            return {int(p): 1 for p in holders}
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"holders of {obj!r} must be processor ids (or a "
+                f"pid->weight mapping), got {holders!r}"
+            ) from None
 
     # -- queries ------------------------------------------------------------
 
@@ -60,6 +121,14 @@ class CopyPlacement:
     def weight(self, obj: str, pid: int) -> int:
         """The weight of ``pid``'s copy of ``obj`` (0 if it has none)."""
         return self._weights(obj).get(pid, 0)
+
+    def weights(self, obj: str) -> Mapping[int, int]:
+        """The full ``{pid: weight}`` entry for ``obj``.
+
+        Returned as a read-only snapshot of the internal table (no copy
+        on this hot path); callers that cache it must ``dict()`` it.
+        """
+        return self._weights(obj)
 
     def total_weight(self, obj: str) -> int:
         """Sum of all copy weights of ``obj``."""

@@ -123,6 +123,25 @@ class Processor:
         return ScatterCall(self, targets, kind, payload_for,
                            timeout=timeout, label=label)
 
+    def scatter_to_copies(self, directory, obj: str, view: Iterable[int],
+                          kind: str,
+                          payload_for: Callable[[int],
+                                                Mapping[str, Any] | None],
+                          *, timeout: float, label: Optional[str] = None):
+        """Directory-routed fan-out: resolve ``obj``'s copy-holders
+        inside ``view`` through ``directory`` and scatter to them.
+
+        Returns ``(targets, call)`` — the resolved holder list (sorted)
+        and the in-flight :class:`ScatterCall`; the caller gathers when
+        ready.  Counted separately from plain scatters so routed
+        traffic is measurable per processor.
+        """
+        targets = directory.write_targets(obj, view)
+        self.transport.routed_fanouts += 1
+        call = self.scatter(targets, kind, payload_for,
+                            timeout=timeout, label=label)
+        return targets, call
+
     def scatter_gather(self, targets: Iterable[int], kind: str,
                        payload_for: Callable[[int], Mapping[str, Any] | None],
                        *, timeout: float,

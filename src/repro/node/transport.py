@@ -67,6 +67,8 @@ class TransportStats:
     no_responses: int = 0
     #: gathers cut short by a satisfied quorum predicate
     early_exits: int = 0
+    #: scatter calls whose target set came from a directory lookup
+    routed_fanouts: int = 0
     #: replies that arrived after their waiter timed out or was killed
     late_replies: int = 0
     #: model-time duration of each completed gather

@@ -1,0 +1,157 @@
+"""The directory layer: where transactions find an object's copies.
+
+Fan-out used to assume the local placement table — fine for a handful
+of processors with full replication, wrong as a model once thousands of
+objects shard across tens-to-hundreds of nodes.  A :class:`Directory`
+makes the lookup explicit: every client-side routing decision in
+Figs. 10–11 (is this object accessible from my view? which copy do I
+read? which copies take the write?) goes through one, and the lookup
+traffic becomes a first-class measured quantity.
+
+Two implementations:
+
+* :class:`LocalDirectory` — every processor holds the full placement
+  map (the paper's implicit assumption, and the default everywhere).
+  Lookups are free and always hit; behaviour is bit-identical to the
+  pre-directory code, pinned by the golden trace sha.
+* :class:`CachedDirectory` — a bounded LRU over the authoritative map,
+  modelling a processor that only materializes entries it routes to.
+  Misses consult the authority (charged to the stats, not to model
+  time — the entry would ride an existing message in a real system)
+  and evict cold entries, so the miss counter is the directory
+  bandwidth a deployment at that cache size would pay.
+
+Server-side checks (the R4 vote, recovery's accessibility scans) stay
+on the authoritative :class:`~repro.core.views.CopyPlacement`: a vote
+must not depend on the voter's cache temperature.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..core.views import CopyPlacement
+
+#: caller-supplied expected-delay function (usually ``protocol.distance``)
+DistanceFn = Callable[[int], float]
+
+
+@dataclass
+class DirectoryStats:
+    """Per-processor lookup accounting (plain data, picklable)."""
+
+    #: entry resolutions requested by the routing layer
+    lookups: int = 0
+    #: lookups served from a local/cached entry
+    hits: int = 0
+    #: lookups that had to consult the authoritative map
+    misses: int = 0
+    #: cached entries displaced by capacity pressure
+    evictions: int = 0
+
+
+class Directory(ABC):
+    """Routes logical accesses to copy-holders."""
+
+    def __init__(self) -> None:
+        self.stats = DirectoryStats()
+
+    @abstractmethod
+    def entry(self, obj: str) -> Mapping[int, int]:
+        """The ``{pid: weight}`` entry for ``obj`` (stats-counted)."""
+
+    def copies(self, obj: str) -> set:
+        """The processors holding a copy of ``obj``."""
+        return set(self.entry(obj))
+
+    def accessible(self, obj: str, view: Iterable[int]) -> bool:
+        """Rule R1's weighted-majority test, off the directory entry."""
+        members = set(view)
+        weights = self.entry(obj)
+        in_view = sum(w for p, w in weights.items() if p in members)
+        return 2 * in_view > sum(weights.values())
+
+    def read_candidates(self, obj: str, view: Iterable[int],
+                        distance: DistanceFn) -> List[int]:
+        """Copy holders inside ``view``, nearest first (rule R2)."""
+        members = set(view)
+        candidates = [p for p in self.entry(obj) if p in members]
+        return sorted(candidates, key=lambda p: (distance(p), p))
+
+    def write_targets(self, obj: str, view: Iterable[int]) -> List[int]:
+        """Every copy holder inside ``view`` (rule R3), sorted."""
+        members = set(view)
+        return sorted(p for p in self.entry(obj) if p in members)
+
+
+class LocalDirectory(Directory):
+    """Full placement map on every processor — always hits."""
+
+    def __init__(self, placement: CopyPlacement):
+        super().__init__()
+        self.placement = placement
+
+    def entry(self, obj: str) -> Mapping[int, int]:
+        self.stats.lookups += 1
+        self.stats.hits += 1
+        return self.placement.weights(obj)
+
+    def read_candidates(self, obj: str, view: Iterable[int],
+                        distance: DistanceFn) -> List[int]:
+        # Delegate so ordering semantics stay defined in one place.
+        self.stats.lookups += 1
+        self.stats.hits += 1
+        return self.placement.holders_by_distance(obj, view, distance)
+
+    def __repr__(self) -> str:
+        return f"LocalDirectory({self.placement!r})"
+
+
+class CachedDirectory(Directory):
+    """Bounded LRU over the authoritative placement map."""
+
+    def __init__(self, placement: CopyPlacement, capacity: int = 128):
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1: {capacity}")
+        self.placement = placement
+        self.capacity = capacity
+        self._cache: "OrderedDict[str, Dict[int, int]]" = OrderedDict()
+
+    def entry(self, obj: str) -> Mapping[int, int]:
+        self.stats.lookups += 1
+        cached = self._cache.get(obj)
+        if cached is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(obj)
+            return cached
+        self.stats.misses += 1
+        weights = dict(self.placement.weights(obj))
+        self._cache[obj] = weights
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return weights
+
+    def __repr__(self) -> str:
+        return (f"CachedDirectory(capacity={self.capacity}, "
+                f"cached={len(self._cache)})")
+
+
+#: directory factory signature used by the cluster: (pid, placement)
+DirectoryFactory = Callable[[int, CopyPlacement], Directory]
+
+
+def make_directory(name: str,
+                   capacity: Optional[int] = None) -> DirectoryFactory:
+    """Resolve a directory kind name to a per-processor factory."""
+    if name == "local":
+        return lambda _pid, placement: LocalDirectory(placement)
+    if name == "cached":
+        return lambda _pid, placement: CachedDirectory(
+            placement, capacity=capacity or 128)
+    raise KeyError(
+        f"unknown directory kind {name!r}; choose from ['local', 'cached']")

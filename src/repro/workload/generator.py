@@ -10,7 +10,9 @@ process to drive open-loop experiments.
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Callable, List, Sequence, Tuple
 
 
@@ -46,6 +48,7 @@ class WorkloadGenerator:
         self.objects = list(objects)
         self.rng = rng
         self._weights = self._zipf_weights()
+        self._cdf = list(accumulate(self._weights))
 
     def _zipf_weights(self) -> List[float]:
         if self.spec.zipf_s == 0:
@@ -54,8 +57,18 @@ class WorkloadGenerator:
                 for rank in range(1, len(self.objects) + 1)]
 
     def pick_object(self) -> str:
-        """One object, uniform or zipf-skewed."""
-        return self.rng.choices(self.objects, weights=self._weights, k=1)[0]
+        """One object, uniform or zipf-skewed.
+
+        Inverse-CDF sampling over a *precomputed* cumulative table —
+        one ``rng.random()`` and a bisect per draw (``random.choices``
+        draws identically but re-accumulates the weights every call,
+        which is O(n) per object on sharded keyspaces of thousands).
+        The draw sequence is bit-identical to ``rng.choices(objects,
+        weights, k=1)`` under the same rng state.
+        """
+        point = self.rng.random() * self._cdf[-1]
+        return self.objects[bisect(self._cdf, point,
+                                   0, len(self.objects) - 1)]
 
     def next_program(self) -> List[Tuple[str, str]]:
         """A transaction program: a list of ``("r"|"w", obj)`` steps.

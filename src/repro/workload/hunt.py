@@ -48,6 +48,10 @@ class HuntConfig:
     processors: int = 4
     objects: int = 3
     copies_per_object: int = 3
+    #: placement policy name (None = the legacy contiguous ring); lets
+    #: the hunter attack sharded topologies where most objects have
+    #: copies on only ``copies_per_object`` of the processors
+    placement: Optional[str] = None
     seed: int = 0
     campaigns: int = 50
     #: last instant a fault may start; every hold is clamped to it
@@ -110,6 +114,7 @@ def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
         processors=cfg.processors,
         objects=cfg.objects,
         copies_per_object=cfg.copies_per_object,
+        placement=cfg.placement,
         seed=seed,
         duration=cfg.fault_horizon,
         grace=cfg.settle,
@@ -194,6 +199,7 @@ def write_artifact(path: Path, cfg: HuntConfig,
         "processors": cfg.processors,
         "objects": cfg.objects,
         "copies_per_object": cfg.copies_per_object,
+        "placement": cfg.placement,
         "hunt_seed": cfg.seed,
         "campaign": finding.campaign,
         "run_seed": finding.seed,
@@ -219,6 +225,8 @@ def load_artifact(path: Path) -> Tuple[HuntConfig, int,
         processors=data["processors"],
         objects=data["objects"],
         copies_per_object=data["copies_per_object"],
+        # absent in artifacts written before sharding existed
+        placement=data.get("placement"),
         seed=data["hunt_seed"],
         fault_horizon=data["fault_horizon"],
         settle=data["settle"],

@@ -20,6 +20,16 @@ from ..obs.metrics import MetricsRegistry
 from ..protocols import protocol_factory
 from .generator import WorkloadGenerator, WorkloadSpec, body_for
 
+#: message kinds on the transaction path (Figs. 10-12 + 2PC).  The
+#: complement — probes, view creation, copy update — is background
+#: maintenance whose volume scales with cluster size and run length,
+#: not with committed work; scaling claims must separate the two.
+TXN_MESSAGE_KINDS = frozenset({
+    "read", "read-reply", "write", "write-reply",
+    "prepare", "prepare-reply", "release",
+    "txn-status", "txn-status-reply",
+})
+
 
 @dataclass
 class ExperimentSpec:
@@ -50,6 +60,14 @@ class ExperimentSpec:
     #: optional per-client object pool: (pid, client_index) -> object
     #: names that client draws from (None = every client uses all objects)
     objects_for: Optional[Callable[[int, int], Any]] = None
+    #: placement policy name (see :data:`repro.shard.POLICIES`); None =
+    #: the legacy contiguous-ring layout.  ``copies_per_object`` is the
+    #: replication degree in both cases.
+    placement: Optional[str] = None
+    #: directory kind routing accesses ("local"/"cached"); None = local
+    directory: Optional[str] = None
+    #: cache capacity for the "cached" directory (None = its default)
+    directory_capacity: Optional[int] = None
 
 
 @dataclass
@@ -138,6 +156,21 @@ class ExperimentResult:
                 if self.committed else float("inf"))
 
     @property
+    def txn_messages(self) -> int:
+        """Messages on the transaction path only (no probe/view traffic)."""
+        by_kind = self.network.get("by_kind", {})
+        return sum(count for kind, count in by_kind.items()
+                   if kind in TXN_MESSAGE_KINDS)
+
+    @property
+    def txn_messages_per_committed_txn(self) -> float:
+        """The scaling claim's metric: transaction-path messages per
+        commit.  Tracks the replication degree; background maintenance
+        (which *does* grow with cluster size) is excluded."""
+        return (self.txn_messages / self.committed
+                if self.committed else float("inf"))
+
+    @property
     def envelopes_per_committed_txn(self) -> float:
         """Physical transmissions per committed transaction — with
         batching this drops below :attr:`messages_per_committed_txn`."""
@@ -159,14 +192,21 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
         protocol=protocol_factory(spec.protocol),
         trace=spec.trace,
         audit=spec.audit,
+        directory=spec.directory,
+        directory_capacity=spec.directory_capacity,
     )
     pids = cluster.pids
     copies = spec.copies_per_object or len(pids)
     if not 1 <= copies <= len(pids):
         raise ValueError(f"copies_per_object out of range: {copies}")
-    for index in range(spec.objects):
-        holders = [pids[(index + k) % len(pids)] for k in range(copies)]
-        cluster.place(f"o{index}", holders=holders, initial=0)
+    if spec.placement is None:
+        for index in range(spec.objects):
+            holders = [pids[(index + k) % len(pids)] for k in range(copies)]
+            cluster.place(f"o{index}", holders=holders, initial=0)
+    else:
+        from ..shard import object_names
+        cluster.shard(spec.placement, object_names(spec.objects),
+                      degree=copies, seed=spec.seed, initial=0)
     return cluster
 
 
@@ -276,7 +316,15 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
             transport.early_exits)
         registry.counter("transport.late_replies").inc(
             transport.late_replies)
+        registry.counter("transport.routed_fanouts").inc(
+            transport.routed_fanouts)
         fanout_latency.observe_many(transport.fanout_latencies)
+    for pid in sorted(getattr(cluster, "directories", {})):
+        dstats = cluster.directories[pid].stats
+        registry.counter("directory.lookups").inc(dstats.lookups)
+        registry.counter("directory.hits").inc(dstats.hits)
+        registry.counter("directory.misses").inc(dstats.misses)
+        registry.counter("directory.evictions").inc(dstats.evictions)
     retained = 0
     for pid in cluster.pids:
         store = cluster.processors[pid].store

@@ -93,3 +93,53 @@ def test_validation():
         placement.place("bad", holders=[1], size=0)
     with pytest.raises(KeyError):
         placement.copies("ghost")
+
+
+def test_weights_accessor(placement):
+    assert dict(placement.weights("a")) == {1: 2, 4: 1}
+    with pytest.raises(KeyError, match="ghost"):
+        placement.weights("ghost")
+
+
+def test_place_rejects_unknown_members():
+    placement = CopyPlacement()
+    with pytest.raises(ValueError) as excinfo:
+        placement.place("x", holders=[1, 7, 9], members=[1, 2, 3])
+    message = str(excinfo.value)
+    assert "not cluster members" in message
+    assert "[7, 9]" in message and "[1, 2, 3]" in message
+
+
+def test_place_reports_bad_holder_types():
+    placement = CopyPlacement()
+    with pytest.raises(ValueError, match="processor ids"):
+        placement.place("x", holders=["p-one"])
+
+
+def test_place_many_installs_everything():
+    placement = CopyPlacement()
+    placement.place_many({"x": [1, 2], "y": {3: 2, 1: 1}}, size=4,
+                         members=[1, 2, 3])
+    assert placement.objects == {"x", "y"}
+    assert placement.weight("y", 3) == 2
+    assert placement.size("x") == 4
+
+
+def test_place_many_is_all_or_nothing():
+    placement = CopyPlacement()
+    placement.place("x", holders=[1])
+    with pytest.raises(ValueError) as excinfo:
+        placement.place_many({"x": [2], "y": [1], "z": {1: 0}},
+                             members=[1, 2])
+    message = str(excinfo.value)
+    # every problem is reported, and nothing was installed
+    assert "2 of 3 objects" in message
+    assert "'x'" in message and "'z'" in message
+    assert placement.objects == {"x"}
+
+
+def test_place_many_truncates_long_problem_lists():
+    placement = CopyPlacement()
+    assignments = {f"bad{i}": [99] for i in range(8)}
+    with pytest.raises(ValueError, match=r"and 3 more"):
+        placement.place_many(assignments, members=[1])

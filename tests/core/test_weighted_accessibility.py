@@ -1,0 +1,65 @@
+"""Property tests for rule R1's weighted-majority edge cases.
+
+The sharding policies lean on three algebraic facts about
+``accessible``: tied weights can never both claim a majority, a
+single heavy copy can be the *only* majority (the generalized
+Example 2 shape), and a degree-1 object is accessible exactly where
+its one copy lives.  These pin the R1 arithmetic the policies assume.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.views import CopyPlacement
+from repro.shard.policy import WeightedHomePolicy
+
+pids = st.integers(min_value=1, max_value=40)
+weights = st.integers(min_value=1, max_value=9)
+degrees = st.integers(min_value=1, max_value=8)
+
+
+@given(st.tuples(pids, pids).filter(lambda t: t[0] != t[1]), weights)
+def test_tied_weights_are_never_accessible_apart(holders, weight):
+    """Two copies of equal weight: neither side alone is a strict
+    majority, so a clean split leaves the object fully unavailable —
+    the reason Example 2 weights one copy *up*."""
+    a, b = holders
+    placement = CopyPlacement()
+    placement.place("x", holders={a: weight, b: weight})
+    assert not placement.accessible("x", {a})
+    assert not placement.accessible("x", {b})
+    assert placement.accessible("x", {a, b})
+
+
+@given(degrees, st.integers(min_value=0, max_value=200))
+def test_single_heavy_copy_is_the_only_majority(degree, index):
+    """The weighted-home shape (home weight k, k-1 light copies):
+    every view with the home is a majority, no view without it is."""
+    ring = list(range(1, 2 * degree + 1))
+    assignment = WeightedHomePolicy(degree=degree)._one(index, "x", ring)
+    placement = CopyPlacement()
+    placement.place("x", holders=assignment)
+    home = next(iter(assignment))
+    light = set(assignment) - {home}
+    assert placement.accessible("x", {home})
+    assert not placement.accessible("x", light | {99})
+    assert placement.accessible("x", light | {home})
+
+
+@given(pids, st.sets(pids, max_size=6))
+def test_degree_one_object_accessible_exactly_at_its_holder(holder, view):
+    placement = CopyPlacement()
+    placement.place("x", holders=[holder])
+    assert placement.accessible("x", view) == (holder in view)
+
+
+@given(st.dictionaries(pids, weights, min_size=1, max_size=8),
+       st.sets(pids, max_size=8))
+def test_complement_views_never_both_accessible(holders, view):
+    """R1's safety core: a view and its complement cannot both hold a
+    strict weighted majority of the same object."""
+    placement = CopyPlacement()
+    placement.place("x", holders=holders)
+    complement = set(holders) - view
+    assert not (placement.accessible("x", view)
+                and placement.accessible("x", complement))

@@ -69,6 +69,40 @@ def test_zipf_skews_towards_first_objects():
     assert first > 5 * max(last, 1)
 
 
+def test_zipf_draw_sequence_is_pinned():
+    """The skewed sampler is part of every sharded experiment's
+    determinism contract: one named RandomStreams substream, one
+    ``random()`` per draw, CDF inversion.  This pins the exact
+    sequence so a sampler change cannot silently reshuffle every
+    scaling benchmark."""
+    from repro.sim.rng import RandomStreams
+
+    generator = WorkloadGenerator(
+        WorkloadSpec(zipf_s=1.2, ops_per_txn=2),
+        [f"o{i}" for i in range(50)],
+        RandomStreams(42).stream("workload-p1"),
+    )
+    assert [generator.pick_object() for _ in range(12)] == [
+        "o1", "o0", "o22", "o8", "o19", "o32",
+        "o1", "o36", "o1", "o14", "o0", "o5",
+    ]
+    assert generator.next_program() == [("r", "o0"), ("r", "o48")]
+    assert generator.next_program() == [("r", "o0"), ("r", "o4")]
+
+
+def test_zipf_sampler_matches_random_choices():
+    """The precomputed-CDF fast path consumes the rng identically to
+    ``random.choices`` — same draws, one uniform per pick."""
+    objects = [f"o{i}" for i in range(40)]
+    ours = make(WorkloadSpec(zipf_s=0.8), objects=objects, seed=13)
+    reference = random.Random(13)
+    expected = [
+        reference.choices(objects, weights=ours._weights, k=1)[0]
+        for _ in range(200)
+    ]
+    assert [ours.pick_object() for _ in range(200)] == expected
+
+
 def test_interarrival_is_exponential_with_given_mean():
     generator = make(WorkloadSpec(mean_interarrival=4.0))
     samples = [generator.next_interarrival() for _ in range(2000)]

@@ -91,6 +91,67 @@ def test_campaign_spec_arms_audit_and_check():
     assert spec.protocol == cfg.protocol
 
 
+# -- sharded-topology hunts --------------------------------------------------
+
+
+def test_campaign_spec_carries_placement():
+    cfg = HuntConfig(placement="hash-ring", processors=6, objects=12)
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    spec = campaign_spec(cfg, actions, seed)
+    assert spec.placement == "hash-ring"
+    assert spec.copies_per_object == cfg.copies_per_object
+
+
+def test_vp_survives_sharded_hunt():
+    """The pinned sharded regression campaign: the VP protocol on a
+    hash-ring sharded 6-node topology (degree 3 — most objects have
+    copies on only half the cluster) survives the fixed-seed nemesis
+    sweep with zero auditor/1SR findings."""
+    report = hunt(HuntConfig(protocol="virtual-partitions", processors=6,
+                             objects=12, copies_per_object=3,
+                             placement="hash-ring", campaigns=25, seed=0,
+                             stop_after=0, shrink_budget=0, workers=1))
+    assert report.survived, [f.verdict for f in report.findings]
+    assert report.campaigns_run == 25
+
+
+def test_naive_view_sharded_canary_convicts(tmp_path):
+    """The sharded hunt has teeth: on a tight sharded topology the
+    naive-view strawman is convicted of a 1SR violation, and the
+    artifact records the placement so the repro replays sharded."""
+    report = hunt(HuntConfig(protocol="naive-view", processors=4,
+                             objects=6, copies_per_object=3,
+                             placement="hash-ring", campaigns=10, seed=0,
+                             stop_after=1, shrink_budget=0, workers=1),
+                  out_dir=tmp_path)
+    assert not report.survived
+    finding = report.findings[0]
+    assert finding.campaign == 6
+    assert "1SR" in finding.verdict
+    data = json.loads(open(finding.artifact).read())
+    assert data["placement"] == "hash-ring"
+    verdict, _result = replay_artifact(finding.artifact)
+    assert verdict == finding.verdict
+
+
+def test_load_artifact_defaults_placement_for_old_artifacts(tmp_path):
+    """Artifacts written before sharding existed have no placement key
+    and must load as the legacy full-map layout."""
+    from repro.workload.hunt import HuntFinding, load_artifact, write_artifact
+
+    cfg = HuntConfig()
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    finding = HuntFinding(campaign=0, seed=seed, verdict="x",
+                          actions=actions)
+    path = tmp_path / "old.json"
+    write_artifact(path, cfg, finding)
+    data = json.loads(path.read_text())
+    del data["placement"]
+    path.write_text(json.dumps(data))
+    loaded_cfg, _seed, _actions, _data = load_artifact(path)
+    assert loaded_cfg.placement is None
+
+
 # -- regressions for the protocol bugs the hunter caught ---------------------
 
 
