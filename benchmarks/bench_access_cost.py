@@ -20,11 +20,10 @@ win only at write-heavy mixes — the crossover the table exposes.
 from __future__ import annotations
 
 from repro.core.config import ProtocolConfig
-from repro.workload import ExperimentSpec, WorkloadSpec, sweep_protocols
-from repro.workload.runner import run_experiment
+from repro.workload import ExperimentSpec, WorkloadSpec, run_many, sweep_protocols
 from repro.workload.tables import render_table
 
-from _shared import cost_metrics, emit_metrics, report, run_once
+from _shared import bench_main, cost_metrics, emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
@@ -47,6 +46,19 @@ def data_messages(result) -> int:
                if kind not in BACKGROUND)
 
 
+class PrivateObjects:
+    """Picklable per-client object assignment (two private objects per
+    client) — a callable object so the spec can cross the ``run_many``
+    process boundary."""
+
+    def __init__(self, clients: int):
+        self.clients = clients
+
+    def __call__(self, pid: int, client: int) -> list:
+        base = ((pid - 1) * self.clients + client) * 2
+        return [f"o{base}", f"o{base + 1}"]
+
+
 def batching_spec(window: float, txns_per_client: int,
                   clients: int = BATCH_CLIENTS) -> ExperimentSpec:
     """The paired-comparison spec: identical in everything but the window.
@@ -57,10 +69,6 @@ def batching_spec(window: float, txns_per_client: int,
     identical regardless of completion-time drift.  The only degree of
     freedom left is the transport — exactly what the pair measures.
     """
-    def private_objects(pid: int, client: int) -> list:
-        base = ((pid - 1) * clients + client) * 2
-        return [f"o{base}", f"o{base + 1}"]
-
     return ExperimentSpec(
         processors=5, objects=5 * clients * 2, seed=11,
         duration=600.0, grace=120.0,
@@ -68,17 +76,18 @@ def batching_spec(window: float, txns_per_client: int,
                               mean_interarrival=4.0),
         config=ProtocolConfig(delta=1.0, batch_window=window),
         clients=clients, txns_per_client=txns_per_client,
-        objects_for=private_objects,
+        objects_for=PrivateObjects(clients),
         check=True,
     )
 
 
-def run_batching(txns_per_client: int = 8) -> dict:
+def run_batching(txns_per_client: int = 8, workers=None) -> dict:
     """Batched vs unbatched paired runs of the VP protocol."""
-    results = {
-        window: run_experiment(batching_spec(window, txns_per_client))
-        for window in (0.0, BATCH_WINDOW)
-    }
+    windows = (0.0, BATCH_WINDOW)
+    results = dict(zip(windows, run_many(
+        [batching_spec(window, txns_per_client) for window in windows],
+        workers=workers,
+    )))
     rows = []
     for window, r in sorted(results.items()):
         rows.append([
@@ -105,7 +114,7 @@ def run_batching(txns_per_client: int = 8) -> dict:
 
 
 def run(read_fractions=READ_FRACTIONS, duration=300.0,
-        protocols=PROTOCOLS, batching_txns=8) -> dict:
+        protocols=PROTOCOLS, batching_txns=8, workers=None) -> dict:
     outcomes: dict = {}
     rows = []
     for fraction in read_fractions:
@@ -114,7 +123,7 @@ def run(read_fractions=READ_FRACTIONS, duration=300.0,
             workload=WorkloadSpec(read_fraction=fraction, ops_per_txn=2,
                                   mean_interarrival=10.0),
         )
-        results = sweep_protocols(spec, protocols)
+        results = sweep_protocols(spec, protocols, workers=workers)
         outcomes[fraction] = results
         for name in protocols:
             r = results[name]
@@ -144,7 +153,8 @@ def run(read_fractions=READ_FRACTIONS, duration=300.0,
              results[name].envelopes_per_committed_txn),
         )
     })
-    outcomes["batching"] = run_batching(txns_per_client=batching_txns)
+    outcomes["batching"] = run_batching(txns_per_client=batching_txns,
+                                        workers=workers)
     return outcomes
 
 
@@ -182,4 +192,4 @@ def test_benchmark_access_cost(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_access_cost", run, smoke=SMOKE)

@@ -18,7 +18,7 @@ from repro.cluster import Cluster
 from repro.protocols import protocol_factory
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
@@ -56,7 +56,10 @@ def weighted_availability(protocol_name: str) -> dict:
 
 
 def run(splits=(1, 2, 3, 4), protocols=PROTOCOLS,
-        weighted: bool = True) -> dict:
+        weighted: bool = True, workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — each point
+    # probes availability on a live partitioned cluster.
+    del workers
     rows = []
     outcomes: dict = {}
     for k in splits:
@@ -113,4 +116,4 @@ def test_benchmark_availability(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_availability", run, smoke=SMOKE)

@@ -12,12 +12,15 @@ from __future__ import annotations
 from repro.workload.scenarios import run_example1_naive, run_example1_vp
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 SMOKE: dict = {}
 
 
-def run() -> dict:
+def run(workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — the bench is
+    # two fixed scripted scenarios, not a spec sweep.
+    del workers
     naive = run_example1_naive(seed=0)
     vp = run_example1_vp(seed=0)
     rows = [
@@ -58,4 +61,4 @@ def test_benchmark_example1(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_example1", run, smoke=SMOKE)

@@ -25,7 +25,7 @@ from repro.workload import ExperimentSpec, WorkloadSpec, sweep_protocols
 from repro.workload.runner import run_experiment
 from repro.workload.tables import render_table
 
-from _shared import cost_metrics, emit_metrics, report, run_once
+from _shared import bench_main, cost_metrics, emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "rowa", "quorum", "majority",
              "missing-writes"]
@@ -33,24 +33,31 @@ DURATION = 800.0
 SMOKE = {"duration": 100.0, "protocols": ["virtual-partitions", "rowa"]}
 
 
-def rare_failures_until(horizon: float):
-    def rare_failures(cluster) -> None:
+class RareFailures:
+    """Picklable failure schedule (rare random crash/repair) — a
+    callable object so the spec can cross the ``run_many`` process
+    boundary."""
+
+    def __init__(self, horizon: float):
+        self.horizon = horizon
+
+    def __call__(self, cluster) -> None:
         RandomFailures(
             cluster.injector, cluster.streams.stream("random-failures"),
-            node_mttf=300.0, node_mttr=40.0, horizon=horizon,
+            node_mttf=300.0, node_mttr=40.0, horizon=self.horizon,
         ).install()
-    return rare_failures
 
 
-def run(duration: float = DURATION, protocols=PROTOCOLS) -> dict:
+def run(duration: float = DURATION, protocols=PROTOCOLS,
+        workers=None) -> dict:
     spec = ExperimentSpec(
         processors=5, objects=10, seed=33, duration=duration,
         workload=WorkloadSpec(read_fraction=0.9, ops_per_txn=2,
                               mean_interarrival=10.0),
-        failures=rare_failures_until(duration),
+        failures=RareFailures(duration),
         retries=1,
     )
-    results = sweep_protocols(spec, protocols)
+    results = sweep_protocols(spec, protocols, workers=workers)
     # One extra paired row: the VP protocol on the batched transport
     # (window δ/2), same seed and failure schedule — how much of the
     # message bill batching absorbs while faults are being tolerated.
@@ -110,4 +117,4 @@ def test_benchmark_fault_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_fault_throughput", run, smoke=SMOKE)

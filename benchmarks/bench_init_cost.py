@@ -29,7 +29,7 @@ from repro.core.config import (
 )
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 OBJECT_SIZE = 100
 WRITE_BURST = 5
@@ -93,7 +93,11 @@ CONFIGS = [
 SMOKE = {"configs": CONFIGS[:1], "split_off": False}
 
 
-def run(configs=CONFIGS, split_off: bool = True) -> dict:
+def run(configs=CONFIGS, split_off: bool = True, workers=None) -> dict:
+    # ``workers`` is accepted for CLI uniformity (`--workers N`) but is
+    # a no-op here: each scenario stages failures against a live
+    # cluster mid-run, so the strategies execute in-process.
+    del workers
     outcomes: dict = {}
     rows = []
     for label, strategy, catchup, fastpath in configs:
@@ -143,4 +147,4 @@ def test_benchmark_init_cost(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_init_cost", run, smoke=SMOKE)

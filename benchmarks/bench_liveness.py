@@ -15,7 +15,7 @@ from repro.core.config import ProtocolConfig
 from repro.net.latency import FixedLatency, UniformLatency
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 SMOKE = {"deltas": (1.0,), "pi_factors": (3,), "jitters": (False,),
          "seeds": (1,)}
@@ -48,7 +48,10 @@ def convergence_time(delta: float, pi: float, seed: int,
 
 
 def run(deltas=(0.5, 1.0, 2.0), pi_factors=(3, 10, 20),
-        jitters=(False, True), seeds=(1, 2, 3)) -> dict:
+        jitters=(False, True), seeds=(1, 2, 3), workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — each point
+    # stages a partition/heal against a live cluster in-process.
+    del workers
     rows = []
     outcomes: dict = {}
     for delta in deltas:
@@ -93,4 +96,4 @@ def test_benchmark_liveness(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_liveness", run, smoke=SMOKE)

@@ -21,7 +21,7 @@ from repro.workload.hunt import HuntConfig, campaign_spec, plan_campaigns, verdi
 from repro.workload.parallel import run_many
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 PROTOCOLS = ["virtual-partitions", "quorum", "naive-view"]
 MIXES = {
@@ -109,9 +109,6 @@ def test_benchmark_nemesis(benchmark):
 
 
 if __name__ == "__main__":
-    import sys
-
-    outcomes = run()
-    if "--check" in sys.argv[1:]:
-        check(outcomes)
-        print("bench_nemesis --check: ok")
+    # --check runs the FULL campaign set (check_params omitted): the
+    # verdict-count assertions are calibrated to the full fixed-seed run.
+    bench_main("bench_nemesis", run, check, smoke=SMOKE)

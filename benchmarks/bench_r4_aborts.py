@@ -20,7 +20,7 @@ from repro.cluster import Cluster
 from repro.core.config import ProtocolConfig
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 #: each client gets a private object triple, so lock contention between
 #: clients is zero and every abort is attributable to rule R4
@@ -75,7 +75,10 @@ def churn_run(weakened: bool, seed: int = 3,
     return {"committed": committed, "aborted": aborted, "one_copy": ok}
 
 
-def run(duration: float = DURATION) -> dict:
+def run(duration: float = DURATION, workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — the churn
+    # scenario schedules crash/recover against a live cluster.
+    del workers
     strict = churn_run(weakened=False, duration=duration)
     weakened = churn_run(weakened=True, duration=duration)
     rows = [
@@ -110,4 +113,4 @@ def test_benchmark_r4_aborts(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_r4_aborts", run, smoke=SMOKE)

@@ -18,7 +18,7 @@ from repro.core.config import ProtocolConfig
 from repro.net.latency import DistanceLatency, ring_distances
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 TRIALS = 8
 SMOKE = {"trials": 2}
@@ -76,7 +76,10 @@ def run_flavor(read_retry: bool, trials: int = TRIALS) -> dict:
     }
 
 
-def run(trials: int = TRIALS) -> dict:
+def run(trials: int = TRIALS, workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — trials crash
+    # and heal a live cluster between reads.
+    del workers
     outcomes = {flag: run_flavor(flag, trials=trials)
                 for flag in (False, True)}
     rows = [
@@ -116,4 +119,4 @@ def test_benchmark_read_retry(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_read_retry", run, smoke=SMOKE)

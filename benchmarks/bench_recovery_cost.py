@@ -21,7 +21,7 @@ from repro.cluster import Cluster
 from repro.core.config import CATCHUP_LOG, INIT_PREVIOUS, ProtocolConfig
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 OBJECT_SIZE = 100
 WRITE_BURST = 30
@@ -82,7 +82,10 @@ COLUMNS = ("transfer_units", "catchup_fallbacks", "retained_entries",
 SMOKE = {"burst": 6, "configs": CONFIGS}
 
 
-def run(burst: int = WRITE_BURST, configs=CONFIGS) -> dict:
+def run(burst: int = WRITE_BURST, configs=CONFIGS, workers=None) -> dict:
+    # ``workers`` accepted for CLI uniformity; a no-op — each policy
+    # stages a partition/burst/heal against a live cluster.
+    del workers
     outcomes: dict = {}
     rows = []
     for label, retain, every in configs:
@@ -123,4 +126,4 @@ def test_benchmark_recovery_cost(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_recovery_cost", run, smoke=SMOKE)

@@ -31,7 +31,7 @@ from repro.workload import ExperimentSpec, WorkloadSpec
 from repro.workload.parallel import run_many
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 NODES = (5, 10, 20, 50)
 DEGREES = (1, 3, 5)
@@ -144,9 +144,6 @@ def test_benchmark_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    import sys
-
-    outcome = run()
-    if "--check" in sys.argv[1:]:
-        check(outcome)
-        print("bench_scaling --check: ok")
+    # --check runs the FULL sweep (check_params omitted): the cost-curve
+    # assertions are calibrated to the full fixed-seed point set.
+    bench_main("bench_scaling", run, check, smoke=SMOKE)

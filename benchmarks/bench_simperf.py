@@ -1,14 +1,16 @@
-"""E13 — simulated-events-per-second: the speed of the harness itself.
+"""E13/E16 — simulated-events-per-second: the speed of the harness itself.
 
 Every experiment E1–E12 and every seed-replicated sweep runs through
 the kernel dispatch loop, so events/sec is the number every scaling PR
-stands on.  This bench measures three things:
+stands on.  This bench measures two experiment groups:
+
+**E13** (harness speed, unchanged methodology):
 
 * **kernel** — a pure-kernel churn microbench: producer/consumer pairs
   exchanging messages through :class:`MessageQueue` with ``AnyOf``
   timer races, i.e. exactly the select-loop shape the protocol tasks
   use, with none of the protocol logic.  This isolates the dispatch
-  loop (single-pop, slotted events, lazy cancellation).
+  loop (packed heap entries, slot table, lazy cancellation).
 * **vp** — events/sec for a message-heavy virtual-partitions run (the
   full stack: transport, locks, 2PC), via the runner's
   ``events_dispatched`` / ``wall_seconds`` counters.
@@ -17,17 +19,32 @@ stands on.  This bench measures three things:
   with the fingerprints of both paths compared entry by entry: the
   parallel engine must change *nothing* but the wall-clock.
 
+**E16** (flat event core + macro-event delivery, new in this PR):
+
+* **churn best-of-N** — the same churn workload, warmed up and run
+  ``churn_reps`` times reporting the best wall-clock; compared against
+  the kernel-churn rate recorded at the PR-4 tag (``PR4_CHURN_RATE``).
+  The dispatch count is closed-form (``3·pairs·msgs + 4·pairs``) and
+  pinned by ``--check``, so any kernel change that adds, drops, or
+  reorders a dispatch fails CI deterministically.
+* **macro delivery** — the E13 vp spec run unbatched and with
+  ``batch_window > 0``: in batched mode every network envelope drains
+  through the destination's inline handler as ONE kernel dispatch
+  (``macro_wakeups == envelopes``), so dispatched-event counts drop
+  even though per-message ``delivered`` counts and traces are intact.
+
 Wall-clock numbers are hardware-dependent; the deterministic side
-(dispatched-event counts, fingerprint equality) is what CI's
-``bench-simperf`` smoke job asserts on (``--check``), so it cannot
-flake on a loaded runner.
+(dispatched-event counts, fingerprint equality, macro-wakeup
+invariants) is what CI's ``bench-simperf`` job asserts on
+(``--check``), so it cannot flake on a loaded runner.
 """
 
 from __future__ import annotations
 
-import sys
 import time
+from dataclasses import replace
 
+from repro.core.config import ProtocolConfig
 from repro.sim import Simulator
 from repro.sim.queues import MessageQueue
 from repro.sim.timers import Timer
@@ -35,17 +52,23 @@ from repro.workload import ExperimentSpec, WorkloadSpec, run_many
 from repro.workload.runner import run_experiment
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report
+from _shared import bench_main, emit_metrics, report
 
 CHURN_PAIRS = 50
 CHURN_MSGS = 1200
+CHURN_REPS = 3
+#: kernel-churn events/sec recorded in EXPERIMENTS.md E13 at the PR-4
+#: tag (same container class; re-measuring that tag on today's hardware
+#: gives ~277k — both comparators are reported in EXPERIMENTS.md E16).
+PR4_CHURN_RATE = 205_000.0
 VP_DURATION = 1000.0
+MACRO_WINDOW = 0.05
 SWEEP_SEEDS = tuple(range(1, 9))
 SWEEP_DURATION = 200.0
 WORKERS = 4
 
 SMOKE = {
-    "churn_pairs": 10, "churn_msgs": 100,
+    "churn_pairs": 10, "churn_msgs": 100, "churn_reps": 1,
     "vp_duration": 60.0,
     "sweep_seeds": (1, 2), "sweep_duration": 40.0,
     "workers": 2,
@@ -88,6 +111,39 @@ def kernel_churn(pairs: int, msgs: int):
     return sim.dispatched, time.perf_counter() - start
 
 
+def churn_dispatches(pairs: int, msgs: int) -> int:
+    """Closed-form dispatch count for the churn workload.
+
+    3 dispatches per message cycle (producer timeout, AnyOf wakeup,
+    next-get wakeup) plus 4 per pair of start/finish bookkeeping.  The
+    FIFO fast path and inline fires change *which queue* an entry
+    travels through, never whether it is dispatched — so this is
+    invariant across kernel data-structure changes and is what
+    ``--check`` pins.
+    """
+    return 3 * pairs * msgs + 4 * pairs
+
+
+def churn_best(pairs: int, msgs: int, reps: int):
+    """Warm up, then best-of-``reps`` churn; returns
+    ``(dispatched, best_wall_seconds)``.  Dispatched counts must agree
+    across reps (the workload is deterministic)."""
+    kernel_churn(min(pairs, 5), min(msgs, 50))  # warm caches/allocator
+    dispatched = None
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        events, wall = kernel_churn(pairs, msgs)
+        if dispatched is None:
+            dispatched = events
+        elif events != dispatched:
+            raise AssertionError(
+                f"churn dispatch count drifted across reps: "
+                f"{dispatched} vs {events}"
+            )
+        best = min(best, wall)
+    return dispatched, best
+
+
 def _vp_spec(duration: float, seed: int = 3) -> ExperimentSpec:
     """A message-heavy VP experiment: write-heavy mix, short
     interarrivals, two clients per processor."""
@@ -101,18 +157,19 @@ def _vp_spec(duration: float, seed: int = 3) -> ExperimentSpec:
 
 
 def run(churn_pairs: int = CHURN_PAIRS, churn_msgs: int = CHURN_MSGS,
+        churn_reps: int = CHURN_REPS,
         vp_duration: float = VP_DURATION, sweep_seeds=SWEEP_SEEDS,
         sweep_duration: float = SWEEP_DURATION,
         workers: int = WORKERS) -> dict:
-    # -- kernel microbench ------------------------------------------------
+    # -- E13: kernel microbench (single shot, legacy methodology) ---------
     churn_events, churn_wall = kernel_churn(churn_pairs, churn_msgs)
     churn_rate = churn_events / churn_wall if churn_wall else 0.0
 
-    # -- message-heavy VP run --------------------------------------------
+    # -- E13: message-heavy VP run ---------------------------------------
     vp = run_experiment(_vp_spec(vp_duration))
     vp_rate = vp.events_per_sec
 
-    # -- serial vs parallel seed sweep -----------------------------------
+    # -- E13: serial vs parallel seed sweep ------------------------------
     specs = [_vp_spec(sweep_duration, seed=seed) for seed in sweep_seeds]
     serial_start = time.perf_counter()
     serial = run_many(specs, workers=1)
@@ -131,6 +188,22 @@ def run(churn_pairs: int = CHURN_PAIRS, churn_msgs: int = CHURN_MSGS,
     speedup = serial_wall / parallel_wall if parallel_wall else 0.0
     sweep_events = sum(result.events_dispatched for result in serial)
 
+    # -- E16: flat-core churn, best-of-N ---------------------------------
+    flat_events, flat_wall = churn_best(churn_pairs, churn_msgs, churn_reps)
+    flat_rate = flat_events / flat_wall if flat_wall else 0.0
+    flat_speedup = flat_rate / PR4_CHURN_RATE if PR4_CHURN_RATE else 0.0
+
+    # -- E16: macro-event delivery (batched vs unbatched vp) -------------
+    batched_spec = replace(_vp_spec(vp_duration),
+                           config=ProtocolConfig(batch_window=MACRO_WINDOW))
+    batched = run_experiment(batched_spec)
+    macro_wakeups = batched.network.get("macro_wakeups", 0)
+    macro_envelopes = batched.network.get("envelopes", 0)
+    dispatch_savings = (
+        1.0 - batched.events_dispatched / vp.events_dispatched
+        if vp.events_dispatched else 0.0
+    )
+
     report(render_table(
         ["workload", "events", "wall (s)", "events/sec"],
         [
@@ -147,11 +220,37 @@ def run(churn_pairs: int = CHURN_PAIRS, churn_msgs: int = CHURN_MSGS,
         title=f"E13  Simulation speed (parallel sweep speedup "
               f"{speedup:.2f}x, outputs byte-identical)",
     ))
+    report(render_table(
+        ["workload", "dispatched", "wall (s)", "events/sec", "note"],
+        [
+            [f"churn best-of-{max(1, churn_reps)}", flat_events,
+             f"{flat_wall:.3f}", f"{flat_rate:,.0f}",
+             f"{flat_speedup:.2f}x vs PR-4 recorded"],
+            ["vp unbatched", vp.events_dispatched,
+             f"{vp.wall_seconds:.3f}", f"{vp_rate:,.0f}",
+             "macro_wakeups=0"],
+            [f"vp batch_window={MACRO_WINDOW}", batched.events_dispatched,
+             f"{batched.wall_seconds:.3f}",
+             f"{batched.events_per_sec:,.0f}",
+             f"{macro_wakeups} wakeups / {macro_envelopes} envelopes, "
+             f"dispatches -{dispatch_savings:.0%}"],
+        ],
+        title="E16  Flat event core + macro-event delivery "
+              f"(churn dispatch count pinned at "
+              f"{churn_dispatches(churn_pairs, churn_msgs)})",
+    ))
     emit_metrics("simperf", {
         "kernel.events": churn_events,
         "kernel.events_per_sec": churn_rate,
+        "kernel.flat.events_per_sec": flat_rate,
+        "kernel.flat.speedup_vs_pr4": flat_speedup,
         "vp.events": vp.events_dispatched,
         "vp.events_per_sec": vp_rate,
+        "macro.unbatched_dispatched": vp.events_dispatched,
+        "macro.batched_dispatched": batched.events_dispatched,
+        "macro.wakeups": macro_wakeups,
+        "macro.envelopes": macro_envelopes,
+        "macro.dispatch_savings": dispatch_savings,
         "sweep.runs": len(specs),
         "sweep.events": sweep_events,
         "sweep.serial_seconds": serial_wall,
@@ -162,46 +261,56 @@ def run(churn_pairs: int = CHURN_PAIRS, churn_msgs: int = CHURN_MSGS,
     })
     return {
         "kernel": (churn_events, churn_rate),
+        "flat": (flat_events, flat_rate),
+        "churn_shape": (churn_pairs, churn_msgs),
         "vp": vp,
+        "batched": batched,
         "serial": serial,
         "parallel": parallel,
         "speedup": speedup,
     }
 
 
-def check(**overrides) -> None:
+def check(results: dict) -> None:
     """Deterministic assertions only — CI's flake-proof smoke entry.
 
-    Counts dispatched events and compares serial/parallel
+    Pins dispatched-event counts (closed-form churn formula, macro
+    wakeup==envelope identity) and compares serial/parallel
     fingerprints; never asserts on wall time.
     """
-    params = {**SMOKE, **overrides}
-    results = run(**params)
+    pairs, msgs = results["churn_shape"]
+    expected = churn_dispatches(pairs, msgs)
     churn_events, _ = results["kernel"]
-    assert churn_events > 0
+    flat_events, _ = results["flat"]
+    assert churn_events == expected, (churn_events, expected)
+    assert flat_events == expected, (flat_events, expected)
     vp = results["vp"]
     assert vp.events_dispatched > 0 and vp.committed > 0
+    assert vp.network.get("macro_wakeups", 0) == 0
+    batched = results["batched"]
+    assert batched.committed > 0
+    wakeups = batched.network.get("macro_wakeups", 0)
+    envelopes = batched.network.get("envelopes", 0)
+    assert wakeups == envelopes > 0, (wakeups, envelopes)
+    # every batched envelope drains inline instead of scheduling a
+    # wakeup per message, so the batched run must dispatch fewer events
+    assert batched.events_dispatched < vp.events_dispatched, (
+        batched.events_dispatched, vp.events_dispatched,
+    )
     # run() already raised if any serial/parallel fingerprint differed;
     # re-derive the comparison here so --check is self-contained
     for a, b in zip(results["serial"], results["parallel"]):
         assert a.fingerprint() == b.fingerprint()
         assert a.events_dispatched > 0
-    print("bench_simperf --check: ok")
 
 
 def test_benchmark_simperf(benchmark):
     from _shared import run_once
 
     results = run_once(benchmark, lambda: run(**SMOKE))
-    assert results["vp"].committed > 0
-    for a, b in zip(results["serial"], results["parallel"]):
-        assert a.fingerprint() == b.fingerprint()
+    check(results)
 
 
 if __name__ == "__main__":
-    if "--check" in sys.argv[1:]:
-        check()
-    elif "--smoke" in sys.argv[1:]:
-        run(**SMOKE)
-    else:
-        run()
+    bench_main("bench_simperf", run, check,
+               smoke=SMOKE, check_params=SMOKE)

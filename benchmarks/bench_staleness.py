@@ -21,7 +21,7 @@ from repro.cluster import Cluster
 from repro.core.config import ProtocolConfig
 from repro.workload.tables import render_table
 
-from _shared import emit_metrics, report, run_once
+from _shared import bench_main, emit_metrics, report, run_once
 
 SMOKE = {"pis": (16.0,)}
 
@@ -92,7 +92,10 @@ def staleness_window(pi: float, seed: int = 2) -> dict:
             "bound": config.liveness_bound}
 
 
-def run(pis=(16.0, 32.0, 48.0, 64.0)) -> list:
+def run(pis=(16.0, 32.0, 48.0, 64.0), workers=None) -> list:
+    # ``workers`` accepted for CLI uniformity; a no-op — each point
+    # runs custom writer/poller processes inside a live cluster.
+    del workers
     rows = []
     outcomes = []
     for pi in pis:
@@ -135,4 +138,4 @@ def test_benchmark_staleness(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    bench_main("bench_staleness", run, smoke=SMOKE)

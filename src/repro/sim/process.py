@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from .errors import Interrupt, ProcessCrashed, StopSimulation
-from .events import URGENT, Event
+from .events import _PENDING, URGENT, Event
 
 EventGenerator = Generator[Event, Any, Any]
 
@@ -24,20 +24,31 @@ EventGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """Wraps a generator and drives it through the event loop."""
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_send", "_throw")
 
     def __init__(self, sim, generator: EventGenerator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.callbacks = None
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self._slot = -1
         self._generator = generator
+        # bound methods cached once: _resume runs per dispatch
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
         # Kick the process off at the current instant — at NORMAL
         # priority, so a freshly spawned process never preempts event
         # deliveries that were already scheduled at this instant.
-        init = Event(sim, name=f"{self.name}.init")
+        init = Event(sim)
         init.succeed()
-        init.callbacks.append(self._resume)
+        init.callbacks = self._resume
         self._target = init
 
     # -- inspection --------------------------------------------------------
@@ -45,7 +56,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return not self.triggered
+        return self._value is _PENDING
 
     @property
     def target(self) -> Optional[Event]:
@@ -64,7 +75,7 @@ class Process(Event):
             raise RuntimeError(f"{self!r} has already terminated")
         if self._target is not None and not self._target.triggered:
             self._target.cancel()
-        hit = Event(self.sim, name=f"{self.name}.interrupt")
+        hit = Event(self.sim)
         hit.defuse()
         hit.fail(Interrupt(cause), priority=URGENT)
         hit.add_callback(self._resume)
@@ -87,21 +98,22 @@ class Process(Event):
         self._value = None
         self._ok = True
         self._processed = True
-        self.callbacks = []
+        self.callbacks = None
 
     # -- kernel callback -----------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             # Killed (or finished) between scheduling and delivery.
             return
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
-                next_target = self._generator.send(event._value)
+                next_target = self._send(event._value)
             else:
                 event._defused = True
-                next_target = self._generator.throw(event._value)
+                next_target = self._throw(event._value)
         except StopIteration as stop:
             self._target = None
             self.succeed(stop.value)
@@ -117,25 +129,32 @@ class Process(Event):
             raise
         except BaseException as exc:  # noqa: BLE001 - surfaced via kernel
             self._target = None
-            self.sim._report_crash(ProcessCrashed(self, exc))
+            sim._report_crash(ProcessCrashed(self, exc))
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
-        if not isinstance(next_target, Event):
+        if next_target.__class__ is not Event and \
+                not isinstance(next_target, Event):
             crash = ProcessCrashed(
                 self, TypeError(f"process yielded non-event {next_target!r}")
             )
-            self.sim._report_crash(crash)
+            sim._report_crash(crash)
             self.fail(crash)
             return
         if next_target._processed:
             crash = ProcessCrashed(
                 self, RuntimeError(f"{next_target!r} already processed")
             )
-            self.sim._report_crash(crash)
+            sim._report_crash(crash)
             self.fail(crash)
             return
         self._target = next_target
-        next_target.callbacks.append(self._resume)
+        cbs = next_target.callbacks
+        if cbs is None:
+            next_target.callbacks = self._resume
+        elif cbs.__class__ is list:
+            cbs.append(self._resume)
+        else:
+            next_target.callbacks = [cbs, self._resume]

@@ -6,6 +6,11 @@ event fires at the current instant, otherwise the caller is enqueued as
 a waiter.  A waiter can be *cancelled* (e.g. when it loses an ``AnyOf``
 race against a timer) in which case it never consumes an item — without
 this, select-style loops would silently eat messages.
+
+``put_inline`` is the macro-event variant of ``put``: it wakes the
+oldest live waiter *inside the current dispatch* via
+:meth:`Simulator.fire_inline` instead of scheduling a heap event, so a
+batched envelope can drain all of its messages in one wakeup.
 """
 
 from __future__ import annotations
@@ -13,7 +18,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Optional
 
-from .events import Event
+from .events import _PENDING, Event
+
+_new = object.__new__
 
 
 class GetEvent(Event):
@@ -24,26 +31,40 @@ class GetEvent(Event):
     def __init__(self, queue: "MessageQueue"):
         # the ".get" suffix is precomputed once per queue — gets are
         # issued on every receive, so no per-event string formatting
-        super().__init__(queue.sim, name=queue._get_name)
+        self.sim = queue.sim
+        self.name = queue._get_name
+        self.callbacks = None
+        self._value = _PENDING
+        # _ok is pre-set: MessageQueue.put's inlined succeed relies on
+        # it (a pending get only ever succeeds)
+        self._ok = True
+        self._processed = False
+        self._cancelled = False
+        self._slot = -1
         self._queue = queue
 
     def cancel(self) -> None:
-        if self.triggered:
-            if not self.processed and not self._cancelled:
+        if self._value is not _PENDING:
+            if not self._processed and not self._cancelled:
                 # The get already consumed an item but lost a composite
                 # race before delivery: un-consume.  The item returns to
                 # the FRONT of the queue so FIFO order is preserved, and
                 # the event is marked cancelled so the kernel skips it.
-                self._queue._items.appendleft(self.value)
-                self.callbacks = []
+                self._queue._items.appendleft(self._value)
+                self.callbacks = None
                 self._cancelled = True
-                self.sim._note_cancelled()
+                sim = self.sim
+                sim._slots[self._slot] = None
+                count = sim._cancelled_count + 1
+                sim._cancelled_count = count
+                if count >= sim._compact_min and count * 2 > len(sim._queue):
+                    sim._compact()
             return
         try:
             self._queue._waiters.remove(self)
         except ValueError:
             pass
-        super().cancel()
+        self.callbacks = None
 
 
 class MessageQueue:
@@ -63,16 +84,58 @@ class MessageQueue:
 
     def put(self, item: Any) -> None:
         """Deposit ``item``; wakes the oldest live waiter, if any."""
-        while self._waiters:
-            waiter = self._waiters.pop(0)
-            if not waiter.triggered:
-                waiter.succeed(item)
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.pop(0)
+            if waiter._value is _PENDING:
+                # inlined waiter.succeed(item): puts run on every
+                # message delivery (``_ok`` is already True on a
+                # pending get)
+                waiter._value = item
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                free = sim._free
+                if free:
+                    slot = free.pop()
+                    sim._slots[slot] = waiter
+                else:
+                    slot = len(sim._slots)
+                    sim._slots.append(waiter)
+                waiter._slot = slot
+                sim._ready.append((sim._now, (1 << 53) | (seq << 1), slot))
                 return
         self._items.append(item)
 
+    def put_inline(self, item: Any) -> bool:
+        """Deposit ``item``, waking the oldest live waiter *within the
+        current dispatch* (see :meth:`Simulator.fire_inline`) instead of
+        scheduling a wakeup event.  Falls back to queueing the item when
+        no live waiter exists.  Returns True iff a waiter fired inline.
+        """
+        waiters = self._waiters
+        fire = self.sim.fire_inline
+        while waiters:
+            waiter = waiters.pop(0)
+            if waiter._value is _PENDING and fire(waiter, item):
+                return True
+        self._items.append(item)
+        return False
+
     def get(self) -> GetEvent:
         """An event that fires with the next item."""
-        event = GetEvent(self)
+        # Inlined GetEvent.__init__ (kept in lock-step with the class):
+        # a get is issued on every receive-loop iteration.
+        event = _new(GetEvent)
+        event.sim = self.sim
+        event.name = self._get_name
+        event.callbacks = None
+        event._value = _PENDING
+        event._ok = True
+        event._processed = False
+        event._cancelled = False
+        event._slot = -1
+        event._queue = self
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -92,8 +155,8 @@ class MessageQueue:
         """Drop queued items and orphan all waiters (used on crash)."""
         self._items.clear()
         for waiter in self._waiters:
-            if not waiter.triggered:
-                waiter.callbacks = []
+            if waiter._value is _PENDING:
+                waiter.callbacks = None
         self._waiters.clear()
 
     def peek_all(self) -> list[Any]:

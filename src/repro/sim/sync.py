@@ -14,16 +14,18 @@ from .events import Event
 class Notifier:
     """A broadcast point: many waiters, released together on notify."""
 
-    __slots__ = ("sim", "name", "_waiters")
+    __slots__ = ("sim", "name", "_waiters", "_wait_name")
 
     def __init__(self, sim, name: str = "notifier"):
         self.sim = sim
         self.name = name
         self._waiters: list[Event] = []
+        # precomputed once — waits recur on every lock-contention loop
+        self._wait_name = f"{name}.wait"
 
     def wait(self) -> Event:
         """An event that fires at the next :meth:`notify_all`."""
-        event = self.sim.event(name=f"{self.name}.wait")
+        event = Event(self.sim, self._wait_name)
         self._waiters.append(event)
         return event
 

@@ -17,9 +17,10 @@ waits (they never fire), exactly like re-setting a hardware timer.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Optional
 
-from .events import Event, Timeout
+from .events import _PENDING, Event, Timeout
 
 
 class _TimerGate(Event):
@@ -37,7 +38,13 @@ class _TimerGate(Event):
 
     def __init__(self, sim, timer: "Timer", timeout: Timeout,
                  name: str = ""):
-        super().__init__(sim, name)
+        self.sim = sim
+        self.name = name
+        self.callbacks = None
+        self._value = _PENDING
+        self._processed = False
+        self._cancelled = False
+        self._slot = -1
         self._timeout = timeout
         self._timer = timer
         self._generation = timer._generation
@@ -46,18 +53,35 @@ class _TimerGate(Event):
         # Fires only if the arming that created this wait is still the
         # current one — re-arming invalidates outstanding waits.
         if (self._timer._generation == self._generation
-                and not self.triggered):
+                and self._value is _PENDING):
             self.succeed(self._timer)
 
     def cancel(self) -> None:
-        self._timeout.cancel()
-        super().cancel()
+        # Inlined Timeout.cancel: gates are cancelled on every lost
+        # select race, i.e. on nearly every receive-loop iteration.
+        timeout = self._timeout
+        if not (timeout._processed or timeout._cancelled):
+            timeout.callbacks = None
+            timeout._cancelled = True
+            sim = timeout.sim
+            sim._slots[timeout._slot] = None
+            count = sim._cancelled_count + 1
+            sim._cancelled_count = count
+            if count >= sim._compact_min and count * 2 > len(sim._queue):
+                sim._compact()
+        if self._value is _PENDING:
+            self.callbacks = None
+            # A cancelled gate lost its race and nobody can hear it
+            # any more: hand it back to the timer for the next wait().
+            self._timer._spare_gate = self
 
 
 class Timer:
     """A one-shot, re-armable countdown."""
 
-    __slots__ = ("sim", "name", "_generation", "_pending", "_expiry")
+    __slots__ = ("sim", "name", "_generation", "_pending", "_expiry",
+                 "_spare", "_spare_gate", "_never_name", "_timeout_name",
+                 "_gate_name")
 
     def __init__(self, sim, name: str = "timer"):
         self.sim = sim
@@ -65,6 +89,22 @@ class Timer:
         self._generation = 0
         self._pending: Optional[Timeout] = None
         self._expiry: Optional[float] = None
+        #: a cancelled-but-never-fired Timeout from a previous wait,
+        #: recycled by the next wait() — timers lose their races on
+        #: nearly every receive-loop iteration, so this turns the per
+        #: wait Timeout allocation into a field reset.  Safe because
+        #: the Timeout is private to the timer: only the gate (which
+        #: detached at cancel) and the kernel's dead heap entry (slot
+        #: already cleared) ever referenced it.
+        self._spare: Optional[Timeout] = None
+        #: likewise for the gate handed out by the lost wait — it was
+        #: cancelled, so its holder (the losing AnyOf) is done with it
+        self._spare_gate: Optional[_TimerGate] = None
+        # precomputed once per timer — wait() runs on every receive
+        # loop iteration, so no per-wait string formatting
+        self._never_name = f"{name}.never"
+        self._timeout_name = f"{name}.timeout"
+        self._gate_name = f"{name}.gate"
 
     @property
     def armed(self) -> bool:
@@ -81,8 +121,19 @@ class Timer:
         """Arm (or re-arm) the timer to fire ``duration`` from now."""
         if duration < 0:
             raise ValueError(f"negative timer duration {duration}")
-        self._invalidate()
-        self._expiry = self.sim.now + duration
+        # Inlined _invalidate: set() runs once per receive-loop
+        # iteration, and in the common case the pending Timeout was
+        # already cancelled when its gate lost the select race — skip
+        # the cancel() call entirely then.
+        self._generation += 1
+        pending = self._pending
+        if pending is not None:
+            if not (pending._processed or pending._cancelled):
+                pending.cancel()
+            if pending._cancelled and pending._value is _PENDING:
+                self._spare = pending
+            self._pending = None
+        self._expiry = self.sim._now + duration
 
     def reset(self) -> None:
         """Disarm the timer; outstanding waits never fire."""
@@ -95,19 +146,51 @@ class Timer:
         Waiting on a disarmed timer returns an event that never fires
         (callers combine it with other sources via ``AnyOf``).
         """
-        if not self.armed:
-            return self.sim.event(name=f"{self.name}.never")
-        timeout = Timeout(
-            self.sim, self._expiry - self.sim.now,
-            name=f"{self.name}.timeout",
-        )
+        sim = self.sim
+        expiry = self._expiry
+        if expiry is None or expiry <= sim._now:
+            return Event(sim, self._never_name)
+        spare = self._spare
+        if spare is not None and spare._cancelled:
+            # Re-arm the recycled Timeout: reset its one-shot state and
+            # push a fresh packed entry (the old heap entry's slot was
+            # cleared at cancel, so it pops as dead).
+            self._spare = None
+            spare._cancelled = False
+            spare.callbacks = None
+            spare.delay = expiry - sim._now
+            seq = sim._seq
+            sim._seq = seq + 1
+            free = sim._free
+            if free:
+                slot = free.pop()
+                sim._slots[slot] = spare
+            else:
+                slot = len(sim._slots)
+                sim._slots.append(spare)
+            spare._slot = slot
+            heappush(sim._queue, (expiry, (1 << 53) | (seq << 1) | 1, slot))
+            timeout = spare
+        else:
+            timeout = Timeout(sim, expiry - sim._now,
+                              name=self._timeout_name)
         self._pending = timeout
-        gate = _TimerGate(self.sim, self, timeout, name=f"{self.name}.gate")
-        timeout.add_callback(gate._relay)
+        gate = self._spare_gate
+        if gate is not None and gate._value is _PENDING:
+            self._spare_gate = None
+            gate._timeout = timeout
+            gate._generation = self._generation
+        else:
+            gate = _TimerGate(sim, self, timeout, name=self._gate_name)
+        timeout.callbacks = gate._relay
         return gate
 
     def _invalidate(self) -> None:
         self._generation += 1
-        if self._pending is not None and not self._pending.processed:
-            self._pending.cancel()
-        self._pending = None
+        pending = self._pending
+        if pending is not None:
+            if not pending._processed:
+                pending.cancel()
+            if pending._cancelled and pending._value is _PENDING:
+                self._spare = pending
+            self._pending = None

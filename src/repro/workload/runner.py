@@ -296,6 +296,7 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
     registry.counter("msg.delivered").inc(stats.delivered)
     registry.counter("msg.dropped").inc(stats.dropped)
     registry.counter("msg.envelopes").inc(stats.envelopes)
+    registry.counter("msg.macro_wakeups").inc(stats.macro_wakeups)
     registry.gauge("msg.batch_occupancy").set(stats.batch_occupancy)
     if committed:
         registry.gauge("txn.messages_per_commit").set(

@@ -1,0 +1,167 @@
+"""Edge cases of macro-event delivery (batched envelope draining).
+
+In batched mode an envelope drains through the destination's inline
+handler as ONE kernel dispatch — these tests pin the corner behavior
+the golden-trace pin cannot isolate: a destination dying mid-drain, an
+in-flight cut killing the whole envelope, duplicate replies riding one
+envelope, trace ordering within a drain, and a ``StopSimulation``
+raised by a woken waiter halfway through the carry list.
+"""
+
+import random
+
+from repro.net import CommGraph, FixedLatency, Message, Network
+from repro.node.processor import Processor
+from repro.sim import Simulator, StopSimulation
+
+
+def build_net(window=0.5, n=3):
+    sim = Simulator()
+    graph = CommGraph(range(1, n + 1))
+    net = Network(sim, graph, FixedLatency(1.0), random.Random(1),
+                  batch_window=window)
+    return sim, graph, net
+
+
+def build_processors(window=0.5, n=2):
+    sim, graph, net = build_net(window=window, n=n)
+    procs = {pid: Processor(pid, sim, net) for pid in graph.nodes}
+    return sim, graph, net, procs
+
+
+class RecordingTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, etype, **fields):
+        self.events.append((etype, fields))
+
+
+def test_envelope_drains_as_one_macro_wakeup_in_carry_order():
+    sim, _, net = build_net()
+    seen = []
+    handler = seen.append
+    net.register(2, handler, inline=lambda m: seen.append(("inline", m.kind)))
+    for kind in ("a", "b", "c"):
+        net.send(Message(src=1, dst=2, kind=kind))
+    sim.run()
+    # one envelope, one macro wakeup, three per-message deliveries, in
+    # the order the messages were carried
+    assert seen == [("inline", "a"), ("inline", "b"), ("inline", "c")]
+    assert net.stats.envelopes == 1
+    assert net.stats.macro_wakeups == 1
+    assert net.stats.delivered == 3
+
+
+def test_unbatched_window_never_uses_inline_handler():
+    sim, _, net = build_net(window=0.0)
+    classic, inline = [], []
+    net.register(2, classic.append, inline=inline.append)
+    net.send(Message(src=1, dst=2, kind="a"))
+    sim.run()
+    assert [m.kind for m in classic] == ["a"]
+    assert inline == []
+    assert net.stats.macro_wakeups == 0
+
+
+def test_destination_dying_mid_drain_filters_rest_of_envelope():
+    """The first carried message wakes a consumer that kills the
+    processor; the remaining carried messages must be filtered by the
+    aliveness check, exactly like separately-delivered ones."""
+    sim, _, net, procs = build_processors()
+    p2 = procs[2]
+    got = []
+
+    def consumer():
+        message = yield p2.receive("data")
+        got.append(message.payload["i"])
+        p2.alive = False  # crash point: mid-drain, after one message
+
+    sim.process(consumer(), name="consumer")
+    for i in range(3):
+        procs[1].send(2, "data", {"i": i})
+    sim.run()
+    # network accounting sees the whole envelope; the dead processor
+    # swallowed everything after the crash point
+    assert net.stats.macro_wakeups == 1
+    assert net.stats.delivered == 3
+    assert got == [0]
+    assert len(p2.mailbox("data")) == 0
+
+
+def test_in_flight_cut_drops_the_whole_envelope():
+    sim, graph, net = build_net()
+    seen = []
+    net.register(2, seen.append, inline=seen.append)
+    net.send(Message(src=1, dst=2, kind="a"))
+    net.send(Message(src=1, dst=2, kind="b"))
+    # sever the link while the envelope is in flight (after the 0.5
+    # flush, before the 1.0 arrival)
+    cut = sim.timeout(0.75)
+    cut.add_callback(lambda _e: graph.cut_link(1, 2))
+    sim.run()
+    assert seen == []
+    assert net.stats.macro_wakeups == 0
+    assert net.stats.dropped_in_flight == 2
+
+
+def test_duplicate_replies_riding_one_envelope_count_late():
+    """Two replies to the same RPC coalesce into one envelope: the
+    first fires the waiter inline, the duplicate is filtered as a late
+    reply — not delivered to a mailbox, not crashing the drain."""
+    sim, _, net, procs = build_processors()
+    p1, p2 = procs[1], procs[2]
+    outcome = {}
+
+    def server():
+        request = yield p2.receive("ping")
+        p2.reply(request, "pong", {"n": 1})
+        p2.reply(request, "pong", {"n": 2})  # duplicate, same window
+
+    def client():
+        response = yield from p1.rpc(2, "ping", {}, timeout=10.0)
+        outcome["reply"] = response.payload["n"]
+
+    sim.process(server(), name="server")
+    sim.process(client(), name="client")
+    sim.run()
+    assert outcome["reply"] == 1
+    assert p1.transport.late_replies == 1
+    assert len(p1.mailbox("pong")) == 0
+
+
+def test_per_message_traces_keep_carry_order_within_a_drain():
+    sim, _, net = build_net()
+    net.tracer = tracer = RecordingTracer()
+    net.register(2, lambda m: None, inline=lambda m: None)
+    for kind in ("a", "b", "c"):
+        net.send(Message(src=1, dst=2, kind=kind))
+    sim.run()
+    recvs = [(e, f) for e, f in tracer.events if e == "msg.recv"]
+    # one msg.recv per carried message, in carry order, all stamped at
+    # the envelope's single arrival instant
+    assert [f["kind"] for _, f in recvs] == ["a", "b", "c"]
+    sends = [f["seq"] for e, f in tracer.events if e == "msg.send"]
+    assert [f["seq"] for _, f in recvs] == sends
+
+
+def test_stop_simulation_mid_drain_finishes_the_envelope():
+    sim, _, net = build_net()
+    seen = []
+
+    def inline(message):
+        seen.append(message.kind)
+        if message.kind == "halt":
+            raise StopSimulation("halt requested")
+
+    net.register(2, lambda m: None, inline=inline)
+    for kind in ("halt", "tail1", "tail2"):
+        net.send(Message(src=1, dst=2, kind=kind))
+    # a later event that must never run: the stop takes effect at the
+    # envelope's arrival instant, after the drain completes
+    later = sim.timeout(50.0)
+    later.add_callback(lambda _e: seen.append("too-late"))
+    sim.run()
+    assert seen == ["halt", "tail1", "tail2"]
+    assert net.stats.delivered == 3
+    assert sim.now < 50.0
