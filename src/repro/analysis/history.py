@@ -119,6 +119,29 @@ class History:
         record.end_time = time
         record.abort_reason = reason
 
+    def finish_txn_once(self, txn: Any, status: str, time: float,
+                        reason: str = "") -> bool:
+        """Finalize ``txn`` if (and only if) it is still active.
+
+        First finalization wins; later calls are no-ops.  This is the
+        race-tolerant form non-blocking commit needs: with Paxos Commit
+        a recovery leader may decide (and close) a transaction whose
+        coordinator is dead or slow — when the coordinator's own client
+        path catches up, its finalization must quietly stand down
+        (consensus guarantees both sides carry the same outcome).
+        Returns True when this call closed the record.
+        """
+        if status not in ("committed", "aborted"):
+            raise ValueError(f"unknown final status {status!r}")
+        record = self._txn(txn)
+        if record.status != "active":
+            return False
+        record.status = status
+        record.end_time = time
+        if status == "aborted":
+            record.abort_reason = reason
+        return True
+
     # -- operations ------------------------------------------------------------
 
     def record_physical(self, *, time: float, txn: Any, kind: str, obj: str,

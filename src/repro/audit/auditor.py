@@ -1,4 +1,4 @@
-"""The runtime invariant auditor: S1–S3, R1/R3/R5 and 2PC safety, live.
+"""The runtime invariant auditor: S1–S3, R1/R3/R5 and commit safety, live.
 
 The end-of-run checkers (``analysis.one_copy``, the property tests)
 judge a finished history; the auditor asserts the paper's invariants *as
@@ -27,9 +27,10 @@ What it checks, mapped to the paper:
 * **R5 + view match** (physical access): a server never serves a copy
   that is update-locked, never serves a partition it is not currently
   committed to, and only serves objects it holds a copy of.
-* **2PC safety**: a coordinator's decision never flips once decided, and
-  all processors apply the same outcome for a transaction — the
-  in-doubt/presumed-abort machinery's whole contract.
+* **Commit safety** (backend-agnostic): a decider's outcome never
+  flips once decided, and all processors apply the same outcome for a
+  transaction — the contract of every atomic-commit backend, whether
+  the decider is a 2PC coordinator or a Paxos Commit recovery leader.
 """
 
 from __future__ import annotations
@@ -63,7 +64,7 @@ class AuditViolation:
 
 
 class InvariantAuditor:
-    """Continuously asserts S1–S3, R1/R3/R5 and 2PC safety."""
+    """Continuously asserts S1–S3, R1/R3/R5 and commit safety."""
 
     def __init__(self, placement=None, context_size: int = 24):
         self.placement = placement
@@ -77,7 +78,7 @@ class InvariantAuditor:
         self._first_join: dict = {}     # vpid -> time of first join
         self._first_depart: dict = {}   # (pid, vpid) -> first depart time
         self._pending_s3: list = []     # (new_vpid, join_time, pid, old_vpid)
-        # 2PC state
+        # commit-outcome state
         self._coord_log: dict = {}      # (pid, txn) -> last logged decision
         self._decided: dict = {}        # txn -> first commit/abort decided
         self._applied: dict = {}        # txn -> first outcome applied anywhere
@@ -220,7 +221,7 @@ class InvariantAuditor:
                 f"served {kind}({obj}) without holding a copy",
             )
 
-    # -- 2PC hooks -------------------------------------------------------------
+    # -- atomic-commit hooks -------------------------------------------------------------
 
     def on_decision(self, time: float, pid: int, txn: Any,
                     outcome: str) -> None:
@@ -229,7 +230,7 @@ class InvariantAuditor:
         old = self._coord_log.get(key)
         if old in ("commit", "abort") and outcome != old:
             self._violate(
-                time, "2PC-decision", pid,
+                time, "commit-decision", pid,
                 f"coordinator flipped txn {txn}: {old} -> {outcome}",
             )
         self._coord_log[key] = outcome
@@ -237,13 +238,13 @@ class InvariantAuditor:
             first = self._decided.setdefault(txn, outcome)
             if first != outcome:
                 self._violate(
-                    time, "2PC-decision", pid,
+                    time, "commit-decision", pid,
                     f"txn {txn} decided {outcome} after {first} elsewhere",
                 )
             applied = self._applied.get(txn)
             if applied is not None and applied != outcome:
                 self._violate(
-                    time, "2PC-decision", pid,
+                    time, "commit-decision", pid,
                     f"txn {txn} decided {outcome} after a processor already "
                     f"applied {applied}",
                 )
@@ -254,13 +255,13 @@ class InvariantAuditor:
         first = self._applied.setdefault(txn, outcome)
         if first != outcome:
             self._violate(
-                time, "2PC-apply", pid,
+                time, "commit-apply", pid,
                 f"txn {txn} applied as {outcome} here but {first} elsewhere",
             )
         decided = self._decided.get(txn)
         if decided is not None and outcome != decided:
             self._violate(
-                time, "2PC-apply", pid,
+                time, "commit-apply", pid,
                 f"txn {txn} applied as {outcome}, coordinator logged {decided}",
             )
 

@@ -100,7 +100,10 @@ class Transaction:
             raise
         self.finished = True
         self._manager.stats.committed += 1
-        self._manager.history.commit_txn(self.txn_id, self._now())
+        # finish_txn_once: a Paxos Commit recovery leader may have
+        # closed the record already (same outcome, by consensus)
+        self._manager.history.finish_txn_once(self.txn_id, "committed",
+                                              self._now())
         if self._manager.tracer is not None:
             self._manager.tracer.emit("txn.commit", pid=self._manager.pid,
                                       txn=str(self.txn_id))
@@ -116,7 +119,8 @@ class Transaction:
         yield from self._manager.protocol.end_transaction(self.ctx, "abort")
         self.finished = True
         self._manager.stats.record_abort(reason)
-        self._manager.history.abort_txn(self.txn_id, self._now(), reason)
+        self._manager.history.finish_txn_once(self.txn_id, "aborted",
+                                              self._now(), reason)
         if self._manager.tracer is not None:
             self._manager.tracer.emit("txn.abort", pid=self._manager.pid,
                                       txn=str(self.txn_id), reason=reason)

@@ -75,7 +75,8 @@ class ScriptedFailures:
 
 
 def _spec_from(args, protocol: str) -> ExperimentSpec:
-    config = ProtocolConfig(delta=args.delta, pi=args.pi, cc=args.cc)
+    config = ProtocolConfig(delta=args.delta, pi=args.pi, cc=args.cc,
+                            commit_backend=args.commit_backend)
     failures = ScriptedFailures(args.partition, args.heal_at,
                                 args.crash, args.recover)
 
@@ -242,6 +243,7 @@ def cmd_hunt(args) -> int:
         objects=args.objects,
         copies_per_object=args.copies,
         placement=args.placement,
+        commit_backend=args.commit_backend,
         seed=args.seed,
         campaigns=args.campaigns,
         workers=args.workers,
@@ -298,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pi", type=float, default=10.0,
                        help="probe period (the paper's pi)")
         p.add_argument("--cc", choices=["2pl", "tso"], default="2pl")
+        p.add_argument("--commit-backend", choices=["2pc", "paxos"],
+                       default="2pc",
+                       help="atomic-commit backend (default: blocking 2PC)")
         p.add_argument("--check", action="store_true",
                        help="run the 1SR checker afterwards (small runs)")
         p.add_argument("--partition", type=_parse_partition,
@@ -378,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["hash-ring", "random-k", "weighted-home",
                                "locality"],
                       help="hunt a sharded topology under this policy")
+    ht_p.add_argument("--commit-backend", choices=["2pc", "paxos"],
+                      default=None,
+                      help="hunt this atomic-commit backend "
+                           "(default: the config default, 2PC)")
     ht_p.add_argument("--seed", type=int, default=0,
                       help="hunt seed; every campaign derives from it")
     ht_p.add_argument("--campaigns", type=int, default=50)

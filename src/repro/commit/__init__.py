@@ -1,0 +1,37 @@
+"""Pluggable atomic-commit backends (the commit phase of R4).
+
+``ProtocolConfig.commit_backend`` selects which one a protocol
+instance gets; the host protocol delegates the prepare round, decision
+distribution, and in-doubt resolution wholesale (see
+:class:`~repro.commit.base.AtomicCommit`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from .base import AtomicCommit
+from .paxos import BALLOT_STRIDE, PaxosCommit
+from .two_phase import TwoPhaseCommit
+
+#: backend name -> class, keyed exactly like ``commit_backend``
+COMMIT_BACKENDS: Dict[str, Type[AtomicCommit]] = {
+    TwoPhaseCommit.name: TwoPhaseCommit,
+    PaxosCommit.name: PaxosCommit,
+}
+
+
+def make_commit(name: str, host: Any) -> AtomicCommit:
+    """Instantiate the commit backend ``name`` for ``host``."""
+    try:
+        backend = COMMIT_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown commit backend {name!r}; "
+            f"known: {sorted(COMMIT_BACKENDS)}"
+        ) from None
+    return backend(host)
+
+
+__all__ = ["AtomicCommit", "BALLOT_STRIDE", "COMMIT_BACKENDS",
+           "PaxosCommit", "TwoPhaseCommit", "make_commit"]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..node.processor import NoResponse
-from .errors import AccessAborted, TransactionAborted
+from .errors import AccessAborted
 
 #: payload reasons a server may reject a physical access with
 REJECT_WRONG_PARTITION = "wrong-partition"
@@ -171,120 +171,21 @@ class AccessMixin:
     # ------------------------------------------------------------------
     # commit protocol (R4 validation + decision distribution)
     # ------------------------------------------------------------------
+    # The whole atomic-commit phase lives in the pluggable backend
+    # (``self.commit``, a :class:`~repro.commit.base.AtomicCommit`
+    # chosen by ``ProtocolConfig.commit_backend``): the prepare round,
+    # the decision log, the decide fan-out, and in-doubt resolution.
+    # The host keeps what is replica-control business — the R4 vote,
+    # before-images, poisoning, and decision application.
 
     def prepare_commit(self, ctx):
-        """Validate R4 across all participants (one voting round).
-
-        Strict mode: every participant must still be in the partition
-        the access was made in.  Weakened mode (§6): a participant in a
-        *newer* partition may vote yes when conditions (1) and (2) hold
-        — every object the transaction referenced is accessible in its
-        current view and every participant is inside that view.
-        Condition (3) is enforced by the recovery reads taking shared
-        locks (see copy_update).
-        """
-        if ctx.poisoned:
-            raise TransactionAborted(ctx.txn_id, ctx.poisoned)
-        # Open the decision-log entry before any participant can vote
-        # yes: an in-doubt participant querying us must find at least
-        # "undecided", never a missing entry (which means presumed abort).
-        # Journalled unforced — presumed abort means its *absence* is
-        # already safe, so the open needs no sync of its own.
-        if ctx.txn_id not in self._decisions:
-            self._decisions[ctx.txn_id] = "undecided"
-            self.processor.store.record_decision(ctx.txn_id, "undecided",
-                                                 forced=False)
-            self._audit_decision(ctx.txn_id, "undecided")
-        state = self.state
-        if not state.assigned or state.cur_id not in ctx.vpids:
-            if ctx.vpids and not self._weakened_ok_locally(ctx):
-                raise TransactionAborted(
-                    ctx.txn_id, "coordinator changed partition (R4)"
-                )
-        votes_needed = sorted(ctx.participants - {self.pid})
-        payload = {
-            "txn": ctx.txn_id,
-            "vpids": sorted(ctx.vpids),
-            "objects": sorted(ctx.objects),
-            "participants": sorted(ctx.participants),
-        }
-
-        # Two-phase scatter: the prepare requests go out *before* the
-        # local vote runs (participants learn of the transaction and
-        # become in-doubt even when the coordinator's own vote fails —
-        # the resolver machinery handles them), matching the original
-        # spawn-then-vote ordering.
-        call = self.processor.scatter(
-            votes_needed, "prepare", lambda _server: payload,
-            timeout=self.config.access_timeout,
-        )
-        if self.pid in ctx.participants:
-            verdict = self._vote(ctx.txn_id, payload)
-            if verdict is not None:
-                raise TransactionAborted(ctx.txn_id, f"local vote: {verdict}")
-            # Our own yes vote is a participant prepare record: force-
-            # written (the classic 2PC force point), its model-time cost
-            # overlapping the remote vote collection already in flight.
-            self.processor.store.record_prepare(ctx.txn_id, ctx.objects)
-            sync_cost = self.config.storage_sync_cost
-            if sync_cost > 0:
-                yield self.sim.timeout(sync_cost)
-        results = yield from call.gather()
-        for server in votes_needed:
-            reply = results[server]
-            status = ("no-response" if reply is None
-                      else "yes" if reply["ok"] else reply["reason"])
-            if status != "yes":
-                raise TransactionAborted(
-                    ctx.txn_id, f"participant {server} voted {status}"
-                )
-        return None
+        """Validate R4 across all participants (one voting round)."""
+        return self.commit.prepare_commit(ctx)
 
     def end_transaction(self, ctx, outcome: str):
-        """Distribute the decision; participants release locks (strict 2PL).
-
-        Decision messages are one-way: a participant that cannot be
-        reached holds its locks until its own partition change clears
-        them (strict mode) or until the lock timeout of a later
-        conflicting transaction breaks the wait.
-        """
-        if outcome not in ("commit", "abort"):
-            raise ValueError(f"unknown outcome {outcome!r}")
-        if outcome == "commit" and self._decisions.get(ctx.txn_id) == "abort":
-            # While we were collecting votes, an in-doubt participant
-            # asked for the outcome and we ceded the abort (see
-            # _handle_txn_status).  That answer is final — it may
-            # already have been applied — so this transaction can no
-            # longer commit.
-            raise TransactionAborted(ctx.txn_id,
-                                     "aborted while in doubt (R4)")
-        if outcome == "commit" and ctx.txn_id in self._poisoned_txns:
-            # Our own partition changed while the remote votes were in
-            # flight and strict R4 force-aborted the transaction here
-            # (on_partition_change): the local writes are already rolled
-            # back and the locks dropped, so deciding commit now would
-            # diverge from our own copies.  The coordinator still holds
-            # its unilateral abort right at this point — exercise it.
-            raise TransactionAborted(ctx.txn_id,
-                                     "partition changed during commit (R4)")
-        # Log the decision before the first decide message leaves: a
-        # participant may lose the decide to a partition cut and query
-        # the log later (see _resolve_in_doubt).  This is the
-        # coordinator's forced write — the decide messages wait for it.
-        self._decisions[ctx.txn_id] = outcome
-        self.processor.store.record_decision(ctx.txn_id, outcome)
-        self._audit_decision(ctx.txn_id, outcome)
-        sync_cost = self.config.storage_sync_cost
-        if sync_cost > 0:
-            yield self.sim.timeout(sync_cost)
-        for server in sorted(ctx.participants):
-            if server == self.pid:
-                self._apply_decision(ctx.txn_id, outcome)
-            else:
-                self.processor.send(server, "release",
-                                    {"txn": ctx.txn_id, "outcome": outcome})
-        return
-        yield  # pragma: no cover - generator form when sync cost is zero
+        """Distribute the decision; participants release locks (strict
+        2PL)."""
+        return self.commit.end_transaction(ctx, outcome)
 
     def available(self, obj: str, write: bool) -> bool:
         """R1 as a pure predicate (reads and writes gate identically)."""
@@ -296,20 +197,26 @@ class AccessMixin:
     # ------------------------------------------------------------------
 
     def serve_physical_access(self):
-        """Dispatcher task: one handler process per incoming request."""
+        """Dispatcher task: one handler process per incoming request.
+
+        Reads and writes are the host's; everything else comes from
+        the commit backend's ``handlers()`` map, whose registration
+        order fixes both mailbox creation and polling order (the 2PC
+        backend reproduces the historical prepare/release/txn-status
+        sequence exactly — the golden trace pin depends on it).
+        """
         read_box = self.processor.mailbox("read")
         write_box = self.processor.mailbox("write")
-        prepare_box = self.processor.mailbox("prepare")
-        release_box = self.processor.mailbox("release")
-        status_box = self.processor.mailbox("txn-status")
+        commit_handlers = dict(self.commit.handlers())
+        commit_boxes = {kind: self.processor.mailbox(kind)
+                        for kind in commit_handlers}
         while True:
             gets = {
                 "read": read_box.get(),
                 "write": write_box.get(),
-                "prepare": prepare_box.get(),
-                "release": release_box.get(),
-                "txn-status": status_box.get(),
             }
+            for kind, box in commit_boxes.items():
+                gets[kind] = box.get()
             fired = yield self.sim.any_of(list(gets.values()))
             for kind, get in gets.items():
                 if get in fired:
@@ -320,12 +227,8 @@ class AccessMixin:
                     elif kind == "write":
                         self.processor.spawn("serve-write",
                                              self._handle_write(message))
-                    elif kind == "prepare":
-                        self._handle_prepare(message)
-                    elif kind == "txn-status":
-                        self._handle_txn_status(message)
                     else:
-                        self._handle_release(message)
+                        commit_handlers[kind](message)
 
     def _handle_read(self, message):
         payload = message.payload
@@ -432,46 +335,6 @@ class AccessMixin:
             yield self.sim.timeout(append_cost)
         self.processor.reply(message, "write-reply", {"ok": True})
 
-    def _handle_prepare(self, message):
-        verdict = self._vote(message.payload["txn"], message.payload)
-        if verdict is None:
-            # A yes vote makes this transaction in-doubt here: we may
-            # no longer abort it unilaterally until we learn the
-            # coordinator's decision (classic 2PC uncertainty window).
-            # Arm a decide watchdog (a bare timer, not a process): if
-            # no decide arrived when it fires — lost to the network, a
-            # cut, or a coordinator crash — start querying for the
-            # outcome.  Normally the decide lands one round later and
-            # the callback finds nothing to do.
-            txn = message.payload["txn"]
-            self._in_doubt[txn] = message.src
-            self.sim.timeout(self.config.access_timeout).add_callback(
-                lambda _event, txn=txn: self._maybe_start_resolver(txn)
-            )
-            # The yes vote is 2PC's participant force point: the
-            # prepare record must be durable before the vote leaves,
-            # or a crash could silently forget it.  With a nonzero
-            # sync cost the reply waits out the force write in a
-            # spawned process; at zero cost it goes out immediately.
-            self.processor.store.record_prepare(
-                txn, message.payload["objects"])
-            sync_cost = self.config.storage_sync_cost
-            if sync_cost > 0:
-                self.processor.spawn(
-                    f"prepare-sync{txn}",
-                    self._delayed_reply(sync_cost, message, "prepare-reply",
-                                        {"ok": True}))
-            else:
-                self.processor.reply(message, "prepare-reply", {"ok": True})
-        else:
-            self.processor.reply(message, "prepare-reply",
-                                 {"ok": False, "reason": verdict})
-
-    def _delayed_reply(self, delay: float, message, kind: str, payload):
-        """Reply after ``delay`` — models a forced write gating an ack."""
-        yield self.sim.timeout(delay)
-        self.processor.reply(message, kind, payload)
-
     def _vote(self, txn, payload) -> str | None:
         """R4 vote; None means yes, otherwise the refusal reason."""
         state = self.state
@@ -493,10 +356,6 @@ class AccessMixin:
             return None
         return REJECT_WRONG_PARTITION
 
-    def _handle_release(self, message) -> None:
-        self._apply_decision(message.payload["txn"],
-                             message.payload["outcome"])
-
     def _apply_decision(self, txn, outcome: str) -> None:
         if outcome == "abort":
             images = self._before_images.pop(txn, {})
@@ -504,7 +363,7 @@ class AccessMixin:
                 self.processor.store.install(obj, value, date, version)
         else:
             self._before_images.pop(txn, None)
-        self._in_doubt.pop(txn, None)
+        self.commit.note_resolved(txn)
         self._poisoned_txns.discard(txn)
         if self.auditor is not None:
             self.auditor.on_decision_applied(self.sim.now, self.pid, txn,
@@ -545,90 +404,17 @@ class AccessMixin:
             # have decided — so no commit-bound transaction is ceded.
             return
         # Strict mode: resolve in-doubt transactions right away.  An
-        # undecided coordinator cedes the abort (_handle_txn_status),
-        # which is the classic strict-R4 force-abort made atomic.
-        for txn in sorted(self._in_doubt, key=repr):
-            self._maybe_start_resolver(txn)
+        # undecided 2PC coordinator cedes the abort (its txn-status
+        # handler), which is the classic strict-R4 force-abort made
+        # atomic; a Paxos resolver decides from the acceptors instead.
+        for txn in sorted(self.commit.in_doubt, key=repr):
+            self.commit.kick_resolver(txn)
         for txn in sorted(self.cc.active_txns(), key=repr):
-            if txn in self._in_doubt:
+            if txn in self.commit.in_doubt:
                 continue
             self._poisoned_txns.add(txn)
             self._apply_decision(txn, "abort")
             self._poisoned_txns.add(txn)
-
-    def _maybe_start_resolver(self, txn) -> None:
-        """Start the in-doubt resolver for ``txn`` unless it is moot.
-
-        Callable from anywhere (watchdog timer, partition change,
-        recovery); idempotent via ``_resolving``.  A crashed processor
-        must not grow tasks — its ``_on_recover`` restarts resolvers
-        for whatever is still in doubt.
-        """
-        if not self.processor.alive:
-            return
-        if txn in self._in_doubt and txn not in self._resolving:
-            self._resolving.add(txn)
-            if self.tracer is not None:
-                self.tracer.emit("txn.indoubt", pid=self.pid, txn=str(txn),
-                                 coordinator=self._in_doubt[txn])
-            self.processor.spawn(f"resolve{txn}",
-                                 self._resolve_in_doubt(txn))
-
-    def _resolve_in_doubt(self, txn):
-        """Learn an in-doubt transaction's outcome from its coordinator.
-
-        Retries through partitions and crashes: the coordinator logs
-        its decision before sending any decide, so the answer is
-        "commit"/"abort" once decided and "undecided" at most briefly.
-        A normally-delivered decide resolves the transaction while we
-        retry; the loop notices and stops.
-        """
-        coordinator = self._in_doubt[txn]
-        retry = self.config.access_timeout
-        try:
-            while txn in self._in_doubt:
-                try:
-                    response = yield from self.processor.rpc(
-                        coordinator, "txn-status", {"txn": txn},
-                        timeout=retry,
-                    )
-                except NoResponse:
-                    yield self.sim.timeout(retry)
-                    continue
-                outcome = response.payload["outcome"]
-                if outcome == "undecided":
-                    yield self.sim.timeout(retry)
-                    continue
-                if txn in self._in_doubt:
-                    if self.tracer is not None:
-                        self.tracer.emit("txn.resolve", pid=self.pid,
-                                         txn=str(txn), outcome=outcome)
-                    self._apply_decision(txn, outcome)
-                break
-        finally:
-            self._resolving.discard(txn)
-
-    def _handle_txn_status(self, message) -> None:
-        # Presumed abort: a transaction with no decision-log entry never
-        # entered its prepare round here, so no decide can have been
-        # sent — answering "abort" is always safe.
-        txn = message.payload["txn"]
-        outcome = self._decisions.get(txn, "abort")
-        if outcome == "undecided":
-            # The asker is an in-doubt participant whose recovery is
-            # blocked on this transaction.  No decide has left yet, so
-            # aborting is still our unilateral right — cede it rather
-            # than keep a whole partition's Update-Copies waiting on
-            # our vote collection (the strict-R4 trade, routed safely
-            # through the decision log; end_transaction honours it).
-            outcome = "abort"
-            self._decisions[txn] = "abort"
-            # Journalled as a forced decision record (its sync latency
-            # is absorbed by the status reply already in flight).
-            self.processor.store.record_decision(txn, "abort")
-            self._audit_decision(txn, "abort")
-        self.processor.reply(message, "txn-status-reply",
-                             {"outcome": outcome})
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -646,7 +432,7 @@ class AccessMixin:
         """
         return any(
             obj in self._before_images.get(txn, {})
-            for txn in self._in_doubt
+            for txn in self.commit.in_doubt
         )
 
     def _weakened_ok_locally(self, ctx) -> bool:

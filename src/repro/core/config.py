@@ -56,6 +56,10 @@ class ProtocolConfig:
     #: concurrency control protocol (assumption A1): strict two-phase
     #: locking ("2pl") or strict timestamp ordering ("tso")
     cc: str = "2pl"
+    #: atomic-commit backend: presumed-abort two-phase commit ("2pc",
+    #: the classic blocking protocol) or Gray & Lamport's Paxos Commit
+    #: ("paxos", non-blocking past any single crash) — see repro.commit
+    commit_backend: str = "2pc"
     #: transport batching window (0 = off): messages bound for the same
     #: destination within one window share a batch envelope — one
     #: latency/loss draw for the lot.  Bounded by delta so a batched
@@ -99,6 +103,9 @@ class ProtocolConfig:
             raise ValueError("timeouts must be positive")
         if self.cc not in ("2pl", "tso"):
             raise ValueError(f"unknown concurrency control {self.cc!r}")
+        if self.commit_backend not in ("2pc", "paxos"):
+            raise ValueError(
+                f"unknown commit backend {self.commit_backend!r}")
         if not 0.0 <= self.batch_window <= self.delta:
             raise ValueError(
                 f"batch_window={self.batch_window} must lie in [0, "

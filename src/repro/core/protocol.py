@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 
 from ..analysis.history import History
 from ..cc.factory import make_cc
+from ..commit import make_commit
 from ..net.latency import LatencyModel
 from ..node.processor import Processor
 from ..protocols.base import ProtocolMetrics, ReplicaControlProtocol
@@ -68,13 +69,9 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         self._update_process = None
         self._before_images: dict = {}
         self._poisoned_txns: set = set()
-        #: coordinator-side decision log: txn -> undecided|commit|abort.
-        #: Written before any decide message leaves, so in-doubt
-        #: participants can query it (presumed abort when absent).
-        self._decisions: dict = {}
-        #: participant-side: txns we voted yes for -> coordinator pid.
-        self._in_doubt: dict = {}
-        self._resolving: set = set()
+        #: the pluggable atomic-commit backend (prepare round, decision
+        #: log, decide fan-out, in-doubt resolution) — see repro.commit
+        self.commit = make_commit(config.commit_backend, self)
         self._recovery_seq = count(1)
 
     def distance(self, pid: int) -> float:
@@ -129,30 +126,22 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
         decision is learned — rolling them back here could erase a
         committed write.
         """
+        in_doubt = self.commit.in_doubt
         for txn in sorted(self._before_images, key=repr):
-            if txn in self._in_doubt:
+            if txn in in_doubt:
                 continue
             images = self._before_images[txn]
             for obj, (value, date, version) in images.items():
                 self.processor.store.install(obj, value, date, version)
         self._before_images = {
             txn: images for txn, images in self._before_images.items()
-            if txn in self._in_doubt
+            if txn in in_doubt
         }
         self._poisoned_txns.clear()
-        self._resolving.clear()
-        # The decision log survives the crash (real coordinators force-
-        # write it); entries still undecided can never have sent a
-        # decide, so crashing finalizes them as the presumed abort.
-        # The finalization is journalled (unforced — it is a recovery
-        # re-interpretation, not a new force point) so WAL replay
-        # rebuilds the same decision log.
-        for txn, outcome in list(self._decisions.items()):
-            if outcome == "undecided":
-                self._decisions[txn] = "abort"
-                self.processor.store.record_decision(txn, "abort",
-                                                     forced=False)
-                self._audit_decision(txn, "abort")
+        # Backend-owned commit state: the 2PC decision log finalizes
+        # undecided entries as the presumed abort; Paxos leaves them to
+        # the acceptors.  Resolver bookkeeping is volatile either way.
+        self.commit.on_crash()
         self.cc = make_cc(self.config, self.sim, label=f"p{self.pid}.cc")
         self._wire_cc_tracer()
         self.state.reset_volatile()
@@ -162,8 +151,7 @@ class VirtualPartitionProtocol(CreationMixin, MonitorMixin, ProbesMixin,
     def _on_recover(self) -> None:
         """Come back alone; probing will merge us with the reachable."""
         self.state.reboot()
-        for txn in sorted(self._in_doubt, key=repr):
-            self._maybe_start_resolver(txn)
+        self.commit.on_recover()
         if self.tracer is not None:
             self.tracer.emit("proc.recover", pid=self.pid)
 

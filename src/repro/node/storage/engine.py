@@ -281,6 +281,14 @@ class StorageEngine:
         """The journalled decision log (read-only view for recovery)."""
         return dict(self._decisions)
 
+    def decision_of(self, txn: Any) -> Optional[str]:
+        """One transaction's journalled outcome (O(1); None = no entry).
+
+        The protocol layer retires decided entries from its in-memory
+        map and answers late ``txn-status`` queries from here instead.
+        """
+        return self._decisions.get(txn)
+
     # -- checkpoints and compaction -------------------------------------------
 
     def checkpoint(self, compact: Optional[bool] = None) -> Checkpoint:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 
 @dataclass
@@ -40,7 +40,13 @@ class ProtocolMetrics:
     #: §6 log catch-ups that fell back to a full-object transfer
     #: because the source had compacted past the requester's date
     catchup_fallbacks: int = 0
+    #: coordinator decision-log entries retired from memory once their
+    #: decide fan-out left (the WAL record stays for crash replay)
+    decisions_retired: int = 0
     by_reason: Dict[str, int] = field(default_factory=dict)
+    #: per-resolution in-doubt dwell times (prepared -> resolved, in
+    #: sim time): the commit protocol's blocking window, measured
+    in_doubt_dwell: List[float] = field(default_factory=list)
 
     def abort(self, kind: str, reason: str) -> None:
         if kind == "r":

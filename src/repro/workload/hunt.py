@@ -52,6 +52,9 @@ class HuntConfig:
     #: the hunter attack sharded topologies where most objects have
     #: copies on only ``copies_per_object`` of the processors
     placement: Optional[str] = None
+    #: atomic-commit backend (None = the config default, 2PC); lets the
+    #: hunter attack Paxos Commit with the same fault schedules
+    commit_backend: Optional[str] = None
     seed: int = 0
     campaigns: int = 50
     #: last instant a fault may start; every hold is clamped to it
@@ -115,6 +118,7 @@ def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
         objects=cfg.objects,
         copies_per_object=cfg.copies_per_object,
         placement=cfg.placement,
+        commit_backend=cfg.commit_backend,
         seed=seed,
         duration=cfg.fault_horizon,
         grace=cfg.settle,
@@ -200,6 +204,7 @@ def write_artifact(path: Path, cfg: HuntConfig,
         "objects": cfg.objects,
         "copies_per_object": cfg.copies_per_object,
         "placement": cfg.placement,
+        "commit_backend": cfg.commit_backend,
         "hunt_seed": cfg.seed,
         "campaign": finding.campaign,
         "run_seed": finding.seed,
@@ -227,6 +232,8 @@ def load_artifact(path: Path) -> Tuple[HuntConfig, int,
         copies_per_object=data["copies_per_object"],
         # absent in artifacts written before sharding existed
         placement=data.get("placement"),
+        # absent in artifacts written before Paxos Commit existed
+        commit_backend=data.get("commit_backend"),
         seed=data["hunt_seed"],
         fault_horizon=data["fault_horizon"],
         settle=data["settle"],

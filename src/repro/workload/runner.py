@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from ..cluster import Cluster
@@ -20,14 +20,18 @@ from ..obs.metrics import MetricsRegistry
 from ..protocols import protocol_factory
 from .generator import WorkloadGenerator, WorkloadSpec, body_for
 
-#: message kinds on the transaction path (Figs. 10-12 + 2PC).  The
-#: complement — probes, view creation, copy update — is background
-#: maintenance whose volume scales with cluster size and run length,
-#: not with committed work; scaling claims must separate the two.
+#: message kinds on the transaction path (Figs. 10-12 + the atomic
+#: commit backends: 2PC's vote round and Paxos Commit's px-* consensus
+#: traffic).  The complement — probes, view creation, copy update — is
+#: background maintenance whose volume scales with cluster size and
+#: run length, not with committed work; scaling claims must separate
+#: the two.
 TXN_MESSAGE_KINDS = frozenset({
     "read", "read-reply", "write", "write-reply",
     "prepare", "prepare-reply", "release",
     "txn-status", "txn-status-reply",
+    "px-accept", "px-accepted",
+    "px-p1", "px-p1-reply", "px-p2", "px-p2-reply",
 })
 
 
@@ -68,6 +72,9 @@ class ExperimentSpec:
     directory: Optional[str] = None
     #: cache capacity for the "cached" directory (None = its default)
     directory_capacity: Optional[int] = None
+    #: atomic-commit backend override ("2pc"/"paxos"); None = whatever
+    #: ``config`` says (itself defaulting to "2pc")
+    commit_backend: Optional[str] = None
 
 
 @dataclass
@@ -186,9 +193,13 @@ class ExperimentResult:
 
 def build_cluster(spec: ExperimentSpec) -> Cluster:
     """Construct (but do not run) the cluster an ExperimentSpec describes."""
+    config = spec.config
+    if spec.commit_backend is not None:
+        config = replace(config or ProtocolConfig(),
+                         commit_backend=spec.commit_backend)
     cluster = Cluster(
         processors=spec.processors, seed=spec.seed,
-        latency=spec.latency, config=spec.config,
+        latency=spec.latency, config=config,
         protocol=protocol_factory(spec.protocol),
         trace=spec.trace,
         audit=spec.audit,
@@ -349,8 +360,13 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
         for name in ("vp_created", "vp_joined", "recoveries",
                      "transfer_units", "catchup_fallbacks",
                      "logical_reads", "logical_writes",
-                     "physical_read_rpcs", "physical_write_rpcs"):
+                     "physical_read_rpcs", "physical_write_rpcs",
+                     "decisions_retired"):
             registry.gauge(f"protocol.{name}").set(getattr(totals, name, 0))
+        # The commit protocol's measured blocking window: sim time each
+        # prepared participant spent in doubt before its outcome landed.
+        registry.histogram("txn.in_doubt_dwell").observe_many(
+            getattr(totals, "in_doubt_dwell", []))
     return registry
 
 

@@ -168,7 +168,7 @@ def test_clean_physical_access_passes():
     assert auditor.ok
 
 
-# -- 2PC safety --------------------------------------------------------------
+# -- commit safety --------------------------------------------------------------
 
 
 def test_2pc_decision_flip_flagged():
@@ -177,7 +177,7 @@ def test_2pc_decision_flip_flagged():
     auditor.on_decision(2.0, 1, (1, 1), "abort")
     auditor.on_decision(3.0, 1, (1, 1), "commit")
     # the flip itself plus the conflict with the first decided outcome
-    assert {v.invariant for v in auditor.violations} == {"2PC-decision"}
+    assert {v.invariant for v in auditor.violations} == {"commit-decision"}
     assert "flipped" in auditor.violations[0].detail
 
 
@@ -193,7 +193,7 @@ def test_2pc_divergent_applied_outcomes():
     auditor = InvariantAuditor()
     auditor.on_decision_applied(1.0, 2, (1, 1), "abort")
     auditor.on_decision_applied(2.0, 3, (1, 1), "commit")
-    assert [v.invariant for v in auditor.violations] == ["2PC-apply"]
+    assert [v.invariant for v in auditor.violations] == ["commit-apply"]
 
 
 def test_2pc_commit_decided_after_applied_abort():
@@ -203,14 +203,14 @@ def test_2pc_commit_decided_after_applied_abort():
     auditor.on_decision(1.0, 1, (1, 1), "undecided")
     auditor.on_decision_applied(2.0, 1, (1, 1), "abort")
     auditor.on_decision(3.0, 1, (1, 1), "commit")
-    assert "2PC-decision" in [v.invariant for v in auditor.violations]
+    assert "commit-decision" in [v.invariant for v in auditor.violations]
 
 
 def test_2pc_apply_contradicting_coordinator_log():
     auditor = InvariantAuditor()
     auditor.on_decision(1.0, 1, (1, 1), "commit")
     auditor.on_decision_applied(2.0, 2, (1, 1), "abort")
-    assert [v.invariant for v in auditor.violations] == ["2PC-apply"]
+    assert [v.invariant for v in auditor.violations] == ["commit-apply"]
 
 
 # -- plumbing ----------------------------------------------------------------

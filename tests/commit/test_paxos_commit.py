@@ -1,0 +1,110 @@
+"""Paxos Commit (Gray & Lamport): non-blocking atomic commit.
+
+The headline property 2PC cannot offer: with the coordinator crashed
+between the prepare round and the decide fan-out — and *never*
+recovering — the prepared participants still reach the transaction's
+outcome, because every vote lives in a Paxos instance replicated to
+2F+1 acceptors and any recovery leader reaching a majority of them can
+finish the protocol.
+"""
+
+import pytest
+
+from repro import Cluster, ProtocolConfig
+from repro.commit import COMMIT_BACKENDS, make_commit
+from repro.workload.generator import WorkloadSpec
+from repro.workload.runner import ExperimentSpec, run_experiment
+
+
+def test_backend_registry_and_factory_validation():
+    assert set(COMMIT_BACKENDS) == {"2pc", "paxos"}
+    with pytest.raises(ValueError, match="three-phase"):
+        make_commit("three-phase", host=None)
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="commit backend"):
+        ProtocolConfig(commit_backend="bogus")
+
+
+def test_paxos_happy_path_commits_and_stays_1sr():
+    """Failure-free runs: same outcomes and correctness as 2PC, paid
+    for with the extra acceptor round."""
+    result = run_experiment(ExperimentSpec(
+        processors=4, objects=3, seed=11, duration=200.0,
+        workload=WorkloadSpec(read_fraction=0.5, mean_interarrival=12.0),
+        commit_backend="paxos", retries=2, check=True, audit=True,
+    ))
+    assert result.committed > 0
+    assert result.one_copy_ok is True
+    assert result.audit_violations == ()
+
+
+def test_prepared_participants_decide_without_coordinator():
+    """Coordinator crashes after the prepare round, before any decide
+    leaves, and never comes back.  Under 2PC the participants would
+    block forever; under Paxos Commit the surviving majority of
+    acceptors lets recovery leaders finish the transaction."""
+    config = ProtocolConfig(delta=4.0, storage_sync_cost=3.0,
+                            commit_backend="paxos")
+    cluster = Cluster(processors=3, seed=3, config=config, audit=True)
+    cluster.place("x", holders=[1, 2, 3], initial=0)
+    cluster.start()
+    cluster.run(until=5.0)
+    outcome = cluster.write_once(1, "x", 7)
+    txn = (1, 1)
+    # park once every prepared vote is replicated: each participant's
+    # ballot-0 accept has landed at acceptors 2 and 3 (a majority of
+    # the three), but the coordinator — whose px-accepted confirmations
+    # take one more delta — has not decided yet
+    def votes_replicated():
+        for acceptor in (2, 3):
+            store = cluster.processor(acceptor).store
+            for rm in (1, 2, 3):
+                value = store.durable_cell(f"px:{txn}:{rm}").value
+                if value is None or value[1] is None:
+                    return False
+        return True
+
+    while not votes_replicated():
+        cluster.sim.run(until=cluster.sim.now + 0.25)
+        assert cluster.sim.now < 120.0, "votes never replicated"
+    assert cluster.processor(1).store.decision_of(txn) is None
+    assert txn in cluster.protocol(2).commit.in_doubt
+    cluster.injector.crash_at(cluster.sim.now + 0.1, 1)
+    cluster.run(until=cluster.sim.now + 400.0)  # p1 stays down
+
+    for pid in (2, 3):
+        commit = cluster.protocol(pid).commit
+        assert txn not in commit.in_doubt, "participant left blocked"
+        assert commit.metrics.in_doubt_dwell, "dwell not recorded"
+        assert cluster.processor(pid).store.peek("x")[0] == 7
+    assert cluster.history.txns[txn].status == "committed"
+    # the dead coordinator's client saw the outcome ceded, not a commit
+    committed, _reason = outcome.value
+    assert committed is False
+    assert cluster.auditor.ok, [str(v) for v in cluster.auditor.violations]
+    assert cluster.check_one_copy_serializable() is True
+
+
+def test_paxos_dwell_is_bounded_not_open_ended():
+    """The blocking window above closes within a few timeout rounds —
+    it does not scale with how long the coordinator stays dead."""
+    config = ProtocolConfig(delta=4.0, storage_sync_cost=3.0,
+                            commit_backend="paxos")
+    cluster = Cluster(processors=3, seed=3, config=config)
+    cluster.place("x", holders=[1, 2, 3], initial=0)
+    cluster.start()
+    cluster.run(until=5.0)
+    cluster.write_once(1, "x", 7)
+    txn = (1, 1)
+    while txn not in cluster.protocol(2).commit.in_doubt:
+        cluster.sim.run(until=cluster.sim.now + 0.25)
+        assert cluster.sim.now < 120.0
+    cluster.injector.crash_at(cluster.sim.now + 0.1, 1)
+    cluster.run(until=cluster.sim.now + 2000.0)
+    for pid in (2, 3):
+        for dwell in cluster.protocol(pid).commit.metrics.in_doubt_dwell:
+            assert dwell <= 6 * cluster.config.access_timeout, (
+                f"p{pid} dwelled {dwell}: resolution waited on recovery"
+            )

@@ -14,6 +14,8 @@ invisible to recovery until resolved.  These tests replay the exact
 schedules deterministically so the hole cannot quietly reopen.
 """
 
+from repro import Cluster, ProtocolConfig
+
 from tests.properties.test_protocol_invariants import run_random_cluster
 
 
@@ -52,3 +54,100 @@ def test_participant_crash_while_in_doubt(seed=7174):
     write back — the in-doubt set models the force-written prepare
     record and survives."""
     _committed_counter_survives(seed, event_count=4, txn_count=6)
+
+
+# -- resolver edge cases ------------------------------------------------------
+#
+# The scenarios below steer one transaction into the decide window by
+# hand: with ``storage_sync_cost`` > 0 the coordinator force-writes its
+# commit decision and then waits out the sync before any decide message
+# leaves, so polling the durable decision log exposes a deterministic
+# instant at which the outcome exists but no participant can know it.
+
+TXN = (1, 1)  # first transaction minted at processor 1
+
+
+def _cluster_in_decide_window():
+    """Run a 3-copy write up to the point where the coordinator has
+    durably decided commit but the decide fan-out has not left yet.
+    Returns the cluster with the sim parked inside that window."""
+    config = ProtocolConfig(delta=4.0, storage_sync_cost=3.0)
+    cluster = Cluster(processors=3, seed=1, config=config, audit=True)
+    cluster.place("x", holders=[1, 2, 3], initial=0)
+    cluster.start()
+    cluster.run(until=5.0)  # initial views settle
+    cluster.write_once(1, "x", 42)
+    while cluster.processor(1).store.decision_of(TXN) != "commit":
+        cluster.sim.run(until=cluster.sim.now + 0.25)
+        assert cluster.sim.now < 120.0, "commit decision never logged"
+    # the decides wait out the 3.0-unit sync; both participants voted
+    # yes at least a delta ago and are in doubt until a decide lands
+    for pid in (2, 3):
+        assert TXN in cluster.protocol(pid).commit.in_doubt
+    return cluster
+
+
+def test_watchdog_fires_while_coordinator_dead():
+    """The decide watchdog (and the partition-change kick) must keep a
+    prepared participant safely blocked — not roll it back, not leak
+    resolver tasks — while the coordinator is crashed, and deliver the
+    logged commit the moment the coordinator's WAL comes back."""
+    cluster = _cluster_in_decide_window()
+    cluster.injector.crash_at(cluster.sim.now + 0.5, 1)
+    # run far past the per-vote decide watchdog (access_timeout = 96):
+    # it fires against a dead coordinator, the resolver's txn-status
+    # gets no response, and 2PC's blocking window holds
+    cluster.run(until=cluster.sim.now + 3 * cluster.config.access_timeout)
+    for pid in (2, 3):
+        commit = cluster.protocol(pid).commit
+        assert TXN in commit.in_doubt, "in-doubt txn rolled back"
+        assert TXN in commit.resolving, "resolver not armed (or leaked)"
+    recover_at = cluster.sim.now + 1.0
+    cluster.injector.recover_at(recover_at, 1)
+    cluster.run(until=recover_at + 3 * cluster.config.access_timeout)
+    for pid in (2, 3):
+        commit = cluster.protocol(pid).commit
+        assert TXN not in commit.in_doubt
+        assert TXN not in commit.resolving
+        assert cluster.processor(pid).store.peek("x")[0] == 42
+        assert commit.metrics.in_doubt_dwell, "dwell not recorded"
+    assert cluster.history.txns[TXN].status == "committed"
+    assert cluster.auditor.ok, [str(v) for v in cluster.auditor.violations]
+    assert cluster.check_one_copy_serializable() is True
+
+
+def test_duplicate_decide_after_resolution_is_idempotent():
+    """A decide re-delivered after the participant already applied the
+    outcome (e.g. a resolver answer beat the original decide through a
+    healing partition) must be a no-op: no double-apply, no dwell
+    double-count, no auditor violation."""
+    cluster = _cluster_in_decide_window()
+    cluster.run(until=cluster.sim.now + 20.0)  # normal decides land
+    assert TXN not in cluster.protocol(2).commit.in_doubt
+    assert cluster.processor(2).store.peek("x")[0] == 42
+    dwell_before = list(cluster.protocol(2).commit.metrics.in_doubt_dwell)
+    cluster.processor(1).send(2, "release", {"txn": TXN, "outcome": "commit"})
+    cluster.run(until=cluster.sim.now + 20.0)
+    assert cluster.processor(2).store.peek("x")[0] == 42
+    assert cluster.protocol(2).commit.metrics.in_doubt_dwell == dwell_before
+    assert cluster.auditor.ok, [str(v) for v in cluster.auditor.violations]
+    assert cluster.check_one_copy_serializable() is True
+
+
+def test_txn_status_racing_late_decide():
+    """A resolver whose txn-status round-trip (2 * delta = 8) is still
+    in flight when the ordinary decide lands (sync + delta = 7) must
+    notice the transaction resolved and stand down without applying the
+    answer a second time."""
+    cluster = _cluster_in_decide_window()
+    commit = cluster.protocol(2).commit
+    commit.kick_resolver(TXN)
+    assert TXN in commit.resolving
+    cluster.run(until=cluster.sim.now + 3 * cluster.config.access_timeout)
+    assert TXN not in commit.in_doubt
+    assert TXN not in commit.resolving, "resolver never exited"
+    assert len(commit.metrics.in_doubt_dwell) == 1, "dwell double-counted"
+    assert cluster.processor(2).store.peek("x")[0] == 42
+    assert cluster.history.txns[TXN].status == "committed"
+    assert cluster.auditor.ok, [str(v) for v in cluster.auditor.violations]
+    assert cluster.check_one_copy_serializable() is True
