@@ -31,6 +31,13 @@ What it checks, mapped to the paper:
   flips once decided, and all processors apply the same outcome for a
   transaction — the contract of every atomic-commit backend, whether
   the decider is a 2PC coordinator or a Paxos Commit recovery leader.
+* **Lease staleness** (client tier): a lease-served read at time ``t``
+  with bound ``B = L + Δ`` must return a version at least as new as
+  the newest version whose commit was applied anywhere by ``t − B``.
+  Version tokens carry no order, so the auditor orders them by
+  first-apply time (the ``on_committed_write`` timeline); it also
+  flags serving past the lease's expiry and grants violating the
+  ``L ≤ π`` rule.
 """
 
 from __future__ import annotations
@@ -82,6 +89,9 @@ class InvariantAuditor:
         self._coord_log: dict = {}      # (pid, txn) -> last logged decision
         self._decided: dict = {}        # txn -> first commit/abort decided
         self._applied: dict = {}        # txn -> first outcome applied anywhere
+        # client-tier lease state: per-object committed-version timeline
+        self._commit_times: dict = {}   # obj -> [first-apply time, ...]
+        self._commit_index: dict = {}   # (obj, version) -> timeline index
 
     # -- verdict ---------------------------------------------------------------
 
@@ -263,6 +273,72 @@ class InvariantAuditor:
             self._violate(
                 time, "commit-apply", pid,
                 f"txn {txn} applied as {outcome}, coordinator logged {decided}",
+            )
+
+    # -- client-tier lease hooks -----------------------------------------------
+
+    def on_committed_write(self, *, time: float, pid: int, obj: str,
+                           version: Any) -> None:
+        """A processor applied a commit that wrote ``obj``.
+
+        First apply wins: the same (obj, version) lands at every copy
+        holder, and the *earliest* apply is the moment the write could
+        first be observed — the conservative anchor for the staleness
+        check.  Strict 2PL orders writes of one object identically at
+        every copy, so first-apply order is the version order.
+        """
+        self._note("commit-write", time, pid, obj=obj, version=str(version))
+        key = (obj, version)
+        if key in self._commit_index:
+            return
+        timeline = self._commit_times.setdefault(obj, [])
+        self._commit_index[key] = len(timeline)
+        timeline.append(time)
+
+    def on_lease_grant(self, *, time: float, pid: int, obj: str,
+                       version: Any, duration: float, pi: float) -> None:
+        """A processor granted a lease; enforce the L <= pi rule."""
+        self._note("lease-grant", time, pid, obj=obj, version=str(version),
+                   duration=duration)
+        if duration > pi + 1e-9:
+            self._violate(
+                time, "lease-rule", pid,
+                f"granted a {duration}-lease on {obj} with pi={pi}: the "
+                "staleness derivation requires L <= pi",
+            )
+
+    def on_lease_read(self, *, time: float, pid: int, obj: str,
+                      version: Any, expires_at: float,
+                      bound: float) -> None:
+        """A read was served from a lease; check expiry and staleness.
+
+        The served version must be at least as new as the newest
+        version committed (first applied anywhere) by ``time - bound``.
+        A version absent from the timeline is the initial value, older
+        than every committed write.
+        """
+        self._note("lease-read", time, pid, obj=obj, version=str(version),
+                   bound=bound)
+        if time > expires_at + 1e-9:
+            self._violate(
+                time, "lease-expired", pid,
+                f"served {obj} from a lease that expired at {expires_at}",
+            )
+        timeline = self._commit_times.get(obj, [])
+        horizon = time - bound
+        # newest timeline index whose first-apply time is <= horizon
+        newest_due = -1
+        for index, applied_at in enumerate(timeline):
+            if applied_at <= horizon:
+                newest_due = index
+        served = self._commit_index.get((obj, version), -1)
+        if served < newest_due:
+            self._violate(
+                time, "lease-staleness", pid,
+                f"lease served {obj} version {version} (commit #{served}) "
+                f"at t={time}, but commit #{newest_due} was applied at "
+                f"{timeline[newest_due]} <= t - bound ({horizon}): the "
+                f"value is staler than the bound {bound} allows",
             )
 
     # -- internals -------------------------------------------------------------

@@ -8,7 +8,7 @@ processors served its physical accesses, and what it read and wrote.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 TxnId = Tuple[int, int]  # (origin pid, per-processor sequence number)
 
@@ -28,6 +28,10 @@ class TransactionContext:
     objects_written: Set[str] = field(default_factory=set)
     #: non-None once the transaction is doomed (it may only abort)
     poisoned: Optional[str] = None
+    #: obj -> (version token, serve time) for each logical read — the
+    #: client tier's lease grants need to know *what* was read and
+    #: *when* the copy served it
+    read_versions: Dict[str, Tuple[Any, float]] = field(default_factory=dict)
     _version_seq: int = 0
 
     @property

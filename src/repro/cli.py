@@ -74,6 +74,20 @@ class ScriptedFailures:
             cluster.injector.recover_at(when, pid)
 
 
+def _session_from(args):
+    """The client-tier spec the flags describe; None = tier disabled."""
+    from .client import SessionSpec
+    cache = getattr(args, "cache", 0)
+    lease = getattr(args, "lease", 0.0)
+    if not cache and not lease:
+        return None
+    return SessionSpec(
+        cache_capacity=cache,
+        cache_policy=getattr(args, "cache_policy", "write-through"),
+        lease_duration=lease,
+    )
+
+
 def _spec_from(args, protocol: str) -> ExperimentSpec:
     config = ProtocolConfig(delta=args.delta, pi=args.pi, cc=args.cc,
                             commit_backend=args.commit_backend)
@@ -81,6 +95,8 @@ def _spec_from(args, protocol: str) -> ExperimentSpec:
                                 args.crash, args.recover)
 
     return ExperimentSpec(
+        open_loop=getattr(args, "open_loop", False),
+        session=_session_from(args),
         protocol=protocol,
         processors=args.processors,
         objects=args.objects,
@@ -109,12 +125,15 @@ def _result_rows(name: str, result) -> list:
         f"{result.writes_per_logical_write:.2f}",
         f"{result.accesses_per_operation:.2f}",
         result.network["sent"],
+        f"{result.latency_p50:.1f}",
+        f"{result.latency_p99:.1f}",
         "-" if result.one_copy_ok is None else result.one_copy_ok,
     ]
 
 
 _HEADERS = ["protocol", "committed", "aborted", "commit rate",
-            "phys/read", "phys/write", "phys/op", "messages", "1SR"]
+            "phys/read", "phys/write", "phys/op", "messages",
+            "p50 lat", "p99 lat", "1SR"]
 
 
 def cmd_run(args) -> int:
@@ -305,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="atomic-commit backend (default: blocking 2PC)")
         p.add_argument("--check", action="store_true",
                        help="run the 1SR checker afterwards (small runs)")
+        p.add_argument("--open-loop", action="store_true",
+                       help="open-loop load: arrivals fire on the Poisson "
+                            "clock regardless of service time, so latency "
+                            "includes queueing (default: closed loop)")
+        p.add_argument("--cache", type=int, default=0, metavar="N",
+                       help="per-client LRU cache of N entries "
+                            "(default: 0 = no cache)")
+        p.add_argument("--cache-policy", default="write-through",
+                       choices=["write-through", "write-back"],
+                       help="client cache write policy (write-back needs "
+                            "--cache > 0)")
+        p.add_argument("--lease", type=float, default=0.0, metavar="L",
+                       help="lease-based local reads of duration L "
+                            "(must be <= pi; default: 0 = no leases)")
         p.add_argument("--partition", type=_parse_partition,
                        action="append", metavar="BLOCKS@TIME",
                        help="e.g. '1,2,3|4,5@50' (repeatable)")

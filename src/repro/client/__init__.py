@@ -1,0 +1,45 @@
+"""The client/session tier: caching and lease-based local reads.
+
+Everything in this package runs *above* the replica control protocol,
+on the client's home processor, and costs zero network messages on the
+local paths:
+
+* :mod:`repro.client.cache` — per-client LRU cache, write-through or
+  write-back (dirty bit, flush-on-evict);
+* :mod:`repro.client.lease` — per-processor lease table with the
+  C6-derived staleness bound (a lease of duration ``L ≤ π`` serves
+  values no staler than ``L + Δ``, ``Δ = π + 8δ``);
+* :mod:`repro.client.session` — the :class:`ClientSession` façade the
+  workload driver runs programs through.
+
+The tier is strictly opt-in: with the default
+:class:`~repro.client.session.SessionSpec` (cache off, leases off)
+every program is one protocol transaction and runs are event-for-event
+identical to a build without this package.
+"""
+
+from .cache import (
+    POLICIES,
+    WRITE_BACK,
+    WRITE_THROUGH,
+    CacheEntry,
+    CacheStats,
+    SessionCache,
+)
+from .lease import Lease, LeaseStats, LeaseTable
+from .session import ClientSession, SessionSpec, SessionStats
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ClientSession",
+    "Lease",
+    "LeaseStats",
+    "LeaseTable",
+    "POLICIES",
+    "SessionCache",
+    "SessionSpec",
+    "SessionStats",
+    "WRITE_BACK",
+    "WRITE_THROUGH",
+]

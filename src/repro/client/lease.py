@@ -1,0 +1,133 @@
+"""Lease-based local reads with a provable staleness bound.
+
+A processor grants its local clients a *lease* of duration ``L`` on an
+object version it just read through the protocol.  While the lease is
+valid, repeat reads of the object are served from the lease — zero
+messages — and the value's staleness is provably bounded:
+
+* the fetch itself is a protocol read, whose staleness the C6 result
+  bounds by the liveness window ``Δ = π + 8δ`` (a committed write can
+  be invisible to a reader only while partitions are converging, and
+  convergence completes within Δ of stability);
+* the lease serves that fetch for at most ``L`` more simulated time.
+
+So a lease-served read at time ``t`` returns a version no older than
+the newest version committed by ``t − (L + Δ)``.  The rule ``L ≤ π``
+keeps the lease window inside one probe period: a partition change is
+*noticed* within π, and the table revokes conservatively on any
+membership event by capturing :attr:`ReplicaState.epoch` at grant time
+and requiring equality at serve time (epoch bumps on every join,
+depart, and crash — strictly more often than view changes).
+
+Invalidation is the fast path: when this processor applies a commit
+that wrote the object (it holds a copy, or coordinated the write), the
+lease is dropped immediately, so in the common case staleness is far
+below the bound.  The bound itself never depends on invalidation —
+a processor outside the write's participant set simply lets the lease
+expire.
+
+The table is deliberately *local*: grants and serves touch no other
+processor and schedule no simulation events, so a leases-off run is
+event-for-event identical to one where the module doesn't exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class Lease:
+    """One granted lease: a version pinned for a bounded window."""
+
+    obj: str
+    value: Any
+    version: Any
+    #: when the protocol read that produced the value was served
+    fetch_time: float
+    expires_at: float
+    #: ReplicaState.epoch at grant; any membership event invalidates
+    epoch: int
+
+
+@dataclass
+class LeaseStats:
+    granted: int = 0
+    served: int = 0
+    #: serves refused because the lease aged out (now > expires_at)
+    expired: int = 0
+    #: serves refused because the partition changed under the lease
+    revoked: int = 0
+    #: leases dropped by a local write-commit apply
+    invalidated: int = 0
+
+
+class LeaseTable:
+    """Per-processor lease state, shared by every session on that node."""
+
+    def __init__(self, state, duration: float, pi: float):
+        if duration <= 0:
+            raise ValueError(f"lease duration must be positive: {duration}")
+        if duration > pi:
+            raise ValueError(
+                f"lease duration {duration} exceeds the probe period "
+                f"{pi}: the staleness derivation needs L <= pi"
+            )
+        self.state = state
+        self.duration = duration
+        self.pi = pi
+        self.stats = LeaseStats()
+        self._leases: Dict[str, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def grant(self, obj: str, value: Any, version: Any, now: float,
+              fetch_time: Optional[float] = None) -> Optional[Lease]:
+        """Pin a freshly-read version for the next ``duration`` of time.
+
+        Refused while unassigned: without a committed view there is no
+        C6 window to anchor the bound to.
+        """
+        if not self.state.assigned:
+            return None
+        lease = Lease(
+            obj=obj, value=value, version=version,
+            fetch_time=now if fetch_time is None else fetch_time,
+            expires_at=now + self.duration,
+            epoch=self.state.epoch,
+        )
+        self._leases[obj] = lease
+        self.stats.granted += 1
+        return lease
+
+    def serve(self, obj: str, now: float) -> Optional[Lease]:
+        """The valid lease for ``obj``, or None (dropping a dead one)."""
+        lease = self._leases.get(obj)
+        if lease is None:
+            return None
+        if lease.epoch != self.state.epoch or not self.state.assigned:
+            # conservative revocation: some membership event happened
+            # since the grant, so the view (and the bound's anchor) may
+            # have changed — refuse, even if the view came back equal
+            del self._leases[obj]
+            self.stats.revoked += 1
+            return None
+        if now > lease.expires_at:
+            del self._leases[obj]
+            self.stats.expired += 1
+            return None
+        self.stats.served += 1
+        return lease
+
+    def invalidate(self, obj: str) -> bool:
+        """A write to ``obj`` committed here; drop the lease at once."""
+        if self._leases.pop(obj, None) is not None:
+            self.stats.invalidated += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"LeaseTable(L={self.duration}, pi={self.pi}, "
+                f"leases={len(self._leases)})")

@@ -246,6 +246,24 @@ class Cluster:
     def tm(self, pid: int) -> TransactionManager:
         return self.tms[pid]
 
+    def session(self, pid: int, spec=None, **knobs):
+        """A client session (cache + leases) fronting processor ``pid``.
+
+        ``spec`` is a :class:`~repro.client.session.SessionSpec`;
+        keyword knobs (``cache_capacity``, ``cache_policy``,
+        ``lease_duration``) build one inline::
+
+            session = cluster.session(1, cache_capacity=8,
+                                      lease_duration=5.0)
+        """
+        from .client.session import ClientSession, SessionSpec
+        if spec is None:
+            spec = SessionSpec(**knobs)
+        elif knobs:
+            raise ValueError("pass either a spec or knobs, not both")
+        return ClientSession(self.tms[pid], self.protocols[pid], spec,
+                             auditor=self.auditor)
+
     def protocol(self, pid: int):
         return self.protocols[pid]
 

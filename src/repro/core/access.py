@@ -77,6 +77,7 @@ class AccessMixin:
                         kind="r", obj=obj, vpid=vpid, targets=(server,),
                     )
                 ctx.note_access("r", obj, server, vpid)
+                ctx.read_versions[obj] = (payload["version"], self.sim.now)
                 return value
             last_reason = payload["reason"]
             if last_reason != REJECT_LOCK_TIMEOUT:
@@ -362,7 +363,19 @@ class AccessMixin:
             for obj, (value, date, version) in images.items():
                 self.processor.store.install(obj, value, date, version)
         else:
-            self._before_images.pop(txn, None)
+            written = self._before_images.pop(txn, {})
+            # the commit fan-out doubles as lease invalidation: every
+            # copy holder (and the coordinator) applies the decision,
+            # so any lease it granted on the object is now stale
+            if written and self.lease_table is not None:
+                for obj in written:
+                    self.lease_table.invalidate(obj)
+            if written and self.auditor is not None:
+                for obj in sorted(written):
+                    self.auditor.on_committed_write(
+                        time=self.sim.now, pid=self.pid, obj=obj,
+                        version=self.processor.store.version(obj),
+                    )
         self.commit.note_resolved(txn)
         self._poisoned_txns.discard(txn)
         if self.auditor is not None:

@@ -23,6 +23,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogBucketHistogram,
     MetricsRegistry,
     NullRegistry,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogBucketHistogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",

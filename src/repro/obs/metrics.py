@@ -14,11 +14,12 @@ site and no allocation per lookup.
 
 from __future__ import annotations
 
+import math
 from bisect import insort
 from typing import Dict, List, Optional
 
 #: percentiles reported in every histogram summary
-SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+SUMMARY_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
 
 
 class Counter:
@@ -126,6 +127,143 @@ class Histogram:
         return f"Histogram({self.name}, n={len(self._sorted)})"
 
 
+class LogBucketHistogram(Histogram):
+    """A bounded histogram over geometric buckets.
+
+    The exact :class:`Histogram` keeps every sample, which is right for
+    a few thousand fan-out latencies but wrong for open-loop latency
+    recording, where a load driver can observe one sample per simulated
+    transaction for millions of transactions.  This variant keeps one
+    counter per geometric bucket (growth factor 2**(1/16), so quantile
+    answers carry at most ~2.2% relative error), giving O(log range)
+    memory no matter how many samples land, plus exact count/sum/min/
+    max.  Buckets merge counter-wise, so per-run histograms aggregate
+    across sweep cells and worker processes without resorting.
+
+    Only non-negative values are accepted — every user (latencies,
+    staleness ages, dwell times) measures elapsed simulated time.
+    """
+
+    __slots__ = ("_buckets", "_zero", "_count", "_min", "_max")
+
+    #: per-decade resolution: bucket i spans [GROWTH**i, GROWTH**(i+1))
+    GROWTH = 2.0 ** (1.0 / 16.0)
+    _LOG_GROWTH = math.log(2.0) / 16.0
+    #: nudge keeps exact powers of GROWTH on their own bucket's floor
+    #: despite float log rounding (pinned by the boundary unit test)
+    _EDGE_EPS = 1e-9
+
+    def __init__(self, name: str):
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0          # zero is its own bucket (log undefined)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    @classmethod
+    def bucket_index(cls, value: float) -> int:
+        """The geometric bucket a positive value falls into."""
+        return math.floor(math.log(value) / cls._LOG_GROWTH + cls._EDGE_EPS)
+
+    @classmethod
+    def bucket_value(cls, index: int) -> float:
+        """A bucket's representative: the geometric middle of its span."""
+        return cls.GROWTH ** (index + 0.5)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name} records elapsed time; "
+                f"got negative value {value}"
+            )
+        if value == 0:
+            self._zero += 1
+        else:
+            index = self.bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def observe_many(self, values) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "LogBucketHistogram") -> None:
+        """Fold another log-bucket histogram's counts into this one."""
+        if not isinstance(other, LogBucketHistogram):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into log-bucket "
+                f"histogram {self.name}"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero += other._zero
+        self._count += other._count
+        self._sum += other._sum
+        for bound in (other._min, other._max):
+            if bound is None:
+                continue
+            self._min = bound if self._min is None else min(self._min, bound)
+            self._max = bound if self._max is None else max(self._max, bound)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over buckets; 0 with no samples.
+
+        Answers are bucket representatives, so they sit within one half
+        bucket width (~2.2% relative) of the exact answer — except the
+        extremes: rank 1 with a recorded min and the top rank clamp to
+        the exact min/max.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._count:
+            return 0.0
+        rank = max(1, -(-self._count * p // 100))  # ceil, rank >= 1
+        if rank >= self._count:
+            return float(self._max)  # type: ignore[arg-type]
+        seen = self._zero
+        if rank <= seen:
+            return 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                value = self.bucket_value(index)
+                # clamp representatives into the observed range
+                return min(max(value, self._min),  # type: ignore[arg-type]
+                           self._max)              # type: ignore[arg-type]
+        return float(self._max)  # type: ignore[arg-type]
+
+    def summary(self) -> dict:
+        if not self._count:
+            return {"count": 0}
+        result = {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+        }
+        for p in SUMMARY_PERCENTILES:
+            result[f"p{p:g}"] = self.percentile(p)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"LogBucketHistogram({self.name}, n={self._count}, "
+                f"buckets={len(self._buckets)})")
+
+
 class MetricsRegistry:
     """Interned instruments, keyed by name."""
 
@@ -155,6 +293,18 @@ class MetricsRegistry:
         if instrument is None:
             self._check_unclaimed(name, self._histograms)
             instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def log_histogram(self, name: str) -> LogBucketHistogram:
+        """A bounded log-bucketed histogram (see LogBucketHistogram)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._histograms)
+            instrument = self._histograms[name] = LogBucketHistogram(name)
+        elif not isinstance(instrument, LogBucketHistogram):
+            raise ValueError(
+                f"metric {name!r} already registered as an exact histogram"
+            )
         return instrument
 
     def _check_unclaimed(self, name: str, claiming: dict) -> None:
@@ -205,6 +355,19 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullLogBucketHistogram(LogBucketHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def merge(self, other: LogBucketHistogram) -> None:
+        pass
+
+
 class NullRegistry(MetricsRegistry):
     """The disabled recorder: every lookup returns a shared no-op.
 
@@ -220,6 +383,7 @@ class NullRegistry(MetricsRegistry):
         self._counter = _NullCounter("null")
         self._gauge = _NullGauge("null")
         self._histogram = _NullHistogram("null")
+        self._log_histogram = _NullLogBucketHistogram("null")
 
     def counter(self, name: str) -> Counter:
         return self._counter
@@ -229,6 +393,9 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(self, name: str) -> Histogram:
         return self._histogram
+
+    def log_histogram(self, name: str) -> LogBucketHistogram:
+        return self._log_histogram
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -83,6 +83,12 @@ class ReplicaControlProtocol(ABC):
     #: short identifier used in benchmark tables
     name: str = "abstract"
 
+    #: per-processor :class:`~repro.client.lease.LeaseTable`; installed
+    #: by the first leased :class:`~repro.client.session.ClientSession`
+    #: on this processor, None otherwise (the default — no lease code
+    #: runs on any protocol path)
+    lease_table = None
+
     @abstractmethod
     def attach(self) -> None:
         """Register server tasks and crash/recover hooks on the processor.

@@ -73,6 +73,12 @@ class HuntConfig:
     shrink_budget: int = 48
     #: stop hunting after this many findings (0 = run all campaigns)
     stop_after: int = 1
+    #: client-session knobs: a non-zero cache or lease duration arms the
+    #: client tier in every campaign, so the hunter can attack the lease
+    #: staleness bound and write-back flushing with the same schedules
+    cache_capacity: int = 0
+    cache_policy: str = "write-through"
+    lease_duration: float = 0.0
     mix: NemesisMix = field(default_factory=NemesisMix)
     mean_gap: float = 25.0
     #: long holds let faults outlive view-refresh periods — partitions
@@ -109,6 +115,16 @@ class HuntReport:
         return not self.findings
 
 
+def _session_of(cfg: HuntConfig):
+    """The campaign's client-session spec (None = raw closed-loop tier)."""
+    if cfg.cache_capacity <= 0 and cfg.lease_duration <= 0.0:
+        return None
+    from ..client.session import SessionSpec
+    return SessionSpec(cache_capacity=cfg.cache_capacity,
+                       cache_policy=cfg.cache_policy,
+                       lease_duration=cfg.lease_duration)
+
+
 def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
                   seed: int) -> ExperimentSpec:
     """The experiment one campaign runs: auditor on, 1SR check on."""
@@ -129,6 +145,7 @@ def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
         check=True,
         audit=True,
         txns_per_client=cfg.txns_per_client,
+        session=_session_of(cfg),
     )
 
 
@@ -214,6 +231,9 @@ def write_artifact(path: Path, cfg: HuntConfig,
         "retries": cfg.retries,
         "read_fraction": cfg.read_fraction,
         "mean_interarrival": cfg.mean_interarrival,
+        "cache_capacity": cfg.cache_capacity,
+        "cache_policy": cfg.cache_policy,
+        "lease_duration": cfg.lease_duration,
         "verdict": finding.shrunk_verdict or finding.verdict,
         "original_action_count": len(finding.actions),
         "actions": [a.to_dict() for a in actions],
@@ -241,6 +261,10 @@ def load_artifact(path: Path) -> Tuple[HuntConfig, int,
         retries=data["retries"],
         read_fraction=data["read_fraction"],
         mean_interarrival=data["mean_interarrival"],
+        # absent in artifacts written before the client tier existed
+        cache_capacity=data.get("cache_capacity", 0),
+        cache_policy=data.get("cache_policy", "write-through"),
+        lease_duration=data.get("lease_duration", 0.0),
     )
     actions = tuple(FaultAction.from_dict(d) for d in data["actions"])
     return cfg, data["run_seed"], actions, data

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
+from ..client.session import ClientSession, SessionSpec
 from ..cluster import Cluster
 from ..core.config import ProtocolConfig
 from ..net.latency import LatencyModel
@@ -75,6 +76,14 @@ class ExperimentSpec:
     #: atomic-commit backend override ("2pc"/"paxos"); None = whatever
     #: ``config`` says (itself defaulting to "2pc")
     commit_backend: Optional[str] = None
+    #: open-loop load: arrivals fire on the Poisson clock regardless of
+    #: service time (each spawns a worker), so latency includes
+    #: queueing.  False (default) is the historical closed loop —
+    #: rng-identical to the pre-session driver.
+    open_loop: bool = False
+    #: client-tier knobs (cache + leases); None = no session tier, the
+    #: byte-identical default path
+    session: Optional["SessionSpec"] = None
 
 
 @dataclass
@@ -190,6 +199,61 @@ class ExperimentResult:
         """Mean logical messages per envelope (1.0 = no batching win)."""
         return self.network.get("batch_occupancy", 1.0)
 
+    # -- client-tier views (latency SLO + session efficiency) ----------------
+
+    def latency_summary(self) -> dict:
+        """Percentile summary of client-observed program latency.
+
+        ``client.txn_latency`` measures completion − arrival per
+        committed program (queueing included under open loop, zero for
+        locally-served programs); protocol-only runs fall back to the
+        history-derived ``txn.latency`` service times.
+        """
+        if self.registry is None:
+            return {"count": 0}
+        histograms = self.registry.snapshot()["histograms"]
+        for name in ("client.txn_latency", "txn.latency"):
+            summary = histograms.get(name)
+            if summary and summary.get("count"):
+                return summary
+        return {"count": 0}
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency_summary().get("p50", 0.0)
+
+    @property
+    def latency_p99(self) -> float:
+        return self.latency_summary().get("p99", 0.0)
+
+    def _client_counter(self, name: str) -> int:
+        if self.registry is None:
+            return 0
+        return self.registry.snapshot()["counters"].get(name, 0)
+
+    @property
+    def local_read_fraction(self) -> float:
+        """Reads served without a protocol transaction (cache + lease)."""
+        reads = self._client_counter("client.reads")
+        if not reads:
+            return 0.0
+        return (self._client_counter("client.lease_reads")
+                + self._client_counter("client.cache_reads")) / reads
+
+    @property
+    def messages_per_client_program(self) -> float:
+        """Transaction-path messages per *committed client program*.
+
+        With a session tier, locally-served programs commit without a
+        protocol transaction, so this is the cost metric that makes
+        session cells comparable to the no-session baseline (whose
+        programs and protocol transactions coincide).
+        """
+        programs = self._client_counter("client.programs_committed")
+        denominator = programs or self.committed
+        return (self.txn_messages / denominator
+                if denominator else float("inf"))
+
 
 def build_cluster(spec: ExperimentSpec) -> Cluster:
     """Construct (but do not run) the cluster an ExperimentSpec describes."""
@@ -231,6 +295,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     if spec.clients < 1:
         raise ValueError(f"clients must be >= 1: {spec.clients}")
+    observer = ClientObserver()
+    sessions: list = []
     for pid in cluster.pids:
         for client in range(spec.clients):
             # client 0 keeps the original stream/tag names so existing
@@ -242,8 +308,16 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
                 spec.workload, pool,
                 cluster.streams.stream(f"workload-p{pid}{suffix}"),
             )
+            session = None
+            if spec.session is not None and spec.session.enabled:
+                session = ClientSession(cluster.tm(pid),
+                                        cluster.protocols[pid],
+                                        spec.session,
+                                        auditor=cluster.auditor)
+                sessions.append(session)
             cluster.sim.process(
-                _client(cluster, pid, generator, spec, tag=f"p{pid}{suffix}"),
+                _client(cluster, pid, generator, spec, tag=f"p{pid}{suffix}",
+                        session=session, observer=observer),
                 name=f"client@p{pid}{suffix}",
             )
 
@@ -274,14 +348,31 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         network=cluster.network.stats.snapshot(),
         one_copy_ok=one_copy_ok,
         cluster=cluster,
-        registry=collect_registry(cluster),
+        registry=collect_registry(cluster, sessions=sessions,
+                                  observer=observer),
         events_dispatched=cluster.sim.dispatched,
         wall_seconds=wall_seconds,
         audit_violations=audit_violations,
     )
 
 
-def collect_registry(cluster: Cluster) -> MetricsRegistry:
+@dataclass
+class ClientObserver:
+    """Client-observed latency samples, shared by a run's client loops.
+
+    One sample per committed program: completion − arrival.  Under the
+    closed loop arrival is when the think-time sleep ends (so the
+    sample equals service time); under the open loop arrival is the
+    Poisson clock tick, so queueing behind slow transactions shows up
+    — the latency-SLO view a cost-per-transaction metric cannot give.
+    """
+
+    latencies: list = field(default_factory=list)
+
+
+def collect_registry(cluster: Cluster, sessions=(),
+                     observer: Optional[ClientObserver] = None,
+                     ) -> MetricsRegistry:
     """Distil a finished cluster's counters into a metrics registry.
 
     This is the structured-output side of every experiment and
@@ -365,33 +456,125 @@ def collect_registry(cluster: Cluster) -> MetricsRegistry:
             registry.gauge(f"protocol.{name}").set(getattr(totals, name, 0))
         # The commit protocol's measured blocking window: sim time each
         # prepared participant spent in doubt before its outcome landed.
-        registry.histogram("txn.in_doubt_dwell").observe_many(
+        registry.log_histogram("txn.in_doubt_dwell").observe_many(
             getattr(totals, "in_doubt_dwell", []))
+    if observer is not None and observer.latencies:
+        registry.log_histogram("client.txn_latency").observe_many(
+            observer.latencies)
+    if sessions:
+        _collect_sessions(registry, cluster, sessions)
     return registry
 
 
+def _collect_sessions(registry: MetricsRegistry, cluster: Cluster,
+                      sessions) -> None:
+    """Aggregate the client tier's per-session stats into the registry."""
+    read_latency = registry.log_histogram("client.read_latency")
+    staleness = registry.log_histogram("client.staleness")
+    for session in sessions:
+        stats = session.stats
+        registry.counter("client.programs").inc(stats.programs)
+        registry.counter("client.programs_committed").inc(stats.committed)
+        registry.counter("client.programs_aborted").inc(stats.aborted)
+        registry.counter("client.programs_local").inc(stats.local_programs)
+        registry.counter("client.reads").inc(stats.reads)
+        registry.counter("client.writes").inc(stats.writes)
+        registry.counter("client.lease_reads").inc(stats.lease_reads)
+        registry.counter("client.cache_reads").inc(stats.cache_reads)
+        registry.counter("client.remote_reads").inc(stats.remote_reads)
+        registry.counter("client.local_writes").inc(stats.local_writes)
+        registry.counter("client.remote_writes").inc(stats.remote_writes)
+        registry.counter("client.flush_writes").inc(stats.flush_writes)
+        read_latency.observe_many(stats.read_latencies)
+        staleness.observe_many(stats.staleness)
+        if session.cache is not None:
+            cache = session.cache.stats
+            registry.counter("client.cache.hits").inc(cache.hits)
+            registry.counter("client.cache.misses").inc(cache.misses)
+            registry.counter("client.cache.evictions").inc(cache.evictions)
+            registry.counter("client.cache.dirty_evictions").inc(
+                cache.dirty_evictions)
+            registry.counter("client.cache.invalidations").inc(
+                cache.invalidations)
+    # lease tables are per-processor (shared by that node's sessions),
+    # so collect them from the protocols, not the sessions
+    for pid in cluster.pids:
+        table = getattr(cluster.protocols[pid], "lease_table", None)
+        if table is None:
+            continue
+        stats = table.stats
+        registry.counter("client.lease.granted").inc(stats.granted)
+        registry.counter("client.lease.served").inc(stats.served)
+        registry.counter("client.lease.expired").inc(stats.expired)
+        registry.counter("client.lease.revoked").inc(stats.revoked)
+        registry.counter("client.lease.invalidated").inc(stats.invalidated)
+
+
 def _client(cluster: Cluster, pid: int, generator: WorkloadGenerator,
-            spec: ExperimentSpec, tag: str):
+            spec: ExperimentSpec, tag: str, session=None, observer=None):
     """One client: Poisson arrivals until the duration elapses, or for
-    exactly ``spec.txns_per_client`` transactions when that is set."""
+    exactly ``spec.txns_per_client`` transactions when that is set.
+
+    Closed loop (default): each arrival waits for the previous program
+    to finish — think-time load, rng- and event-identical to the
+    historical driver (the golden-trace pin covers it).  Open loop
+    (``spec.open_loop``): arrivals fire on the interarrival clock
+    regardless of service time, each spawning a worker, so the latency
+    samples include queueing.  Both loops draw interarrival-then-
+    program per transaction, keeping the two modes draw-for-draw
+    identical on one seed.
+    """
     sim = cluster.sim
     tm = cluster.tm(pid)
+    backoff = 2 * cluster.config.delta
+
+    def run_one(index, program, arrival):
+        if session is not None:
+            committed, _ = yield from session.run_program(
+                program, tag=f"{tag}t{index}", retries=spec.retries,
+                backoff=backoff)
+        else:
+            body = body_for(program, tag=f"{tag}t{index}")
+            committed, _ = yield from tm.run(body, retries=spec.retries,
+                                             backoff=backoff)
+        if committed and observer is not None:
+            observer.latencies.append(sim.now - arrival)
 
     def one(index):
+        # draw order matters: interarrival was drawn by the caller,
+        # the program is drawn here — exactly the historical sequence
         program = generator.next_program()
-        body = body_for(program, tag=f"{tag}t{index}")
-        yield from tm.run(body, retries=spec.retries,
-                          backoff=2 * cluster.config.delta)
+        yield from run_one(index, program, sim.now)
 
+    def spawn(index):
+        program = generator.next_program()
+        return sim.process(run_one(index, program, sim.now),
+                           name=f"txn@{tag}t{index}")
+
+    workers = []
     if spec.txns_per_client is not None:
         for index in range(spec.txns_per_client):
             yield sim.timeout(generator.next_interarrival())
-            yield from one(index)
-        return
-    index = 0
-    while sim.now < spec.duration:
-        yield sim.timeout(generator.next_interarrival())
-        if sim.now >= spec.duration:
-            return
-        yield from one(index)
-        index += 1
+            if spec.open_loop:
+                workers.append(spawn(index))
+            else:
+                yield from one(index)
+    else:
+        index = 0
+        while sim.now < spec.duration:
+            yield sim.timeout(generator.next_interarrival())
+            if sim.now >= spec.duration:
+                break
+            if spec.open_loop:
+                workers.append(spawn(index))
+            else:
+                yield from one(index)
+            index += 1
+    for worker in workers:
+        if worker.is_alive:
+            yield worker
+    if session is not None:
+        # write-back's flush-on-close: pending dirty entries must reach
+        # the store before the client stops (open-loop stragglers past
+        # the duration horizon keep their dirty values client-side)
+        yield from session.drain(retries=spec.retries, backoff=backoff)

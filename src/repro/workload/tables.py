@@ -50,6 +50,19 @@ def render_table(headers: Sequence[str],
     return "\n".join(out)
 
 
+def format_quantiles(summary: dict, quantiles: Sequence[str] = ("p50", "p99"),
+                     ) -> str:
+    """A compact ``p50/p99`` cell from a histogram ``summary()`` dict.
+
+    Empty histograms render as ``-`` so latency columns stay readable
+    in cells where nothing committed.
+    """
+    if not summary or not summary.get("count"):
+        return "-"
+    return "/".join(format_cell(float(summary.get(q, 0.0)))
+                    for q in quantiles)
+
+
 def render_series(label: str, xs: Sequence[Any],
                   ys: Sequence[float], x_name: str = "x",
                   y_name: str = "y") -> str:

@@ -1,0 +1,96 @@
+"""Unit tests for the lease table: grant/serve/expire/revoke."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.client.lease import LeaseTable
+
+
+@dataclass
+class FakeState:
+    """Just the two attributes the table reads from ReplicaState."""
+
+    assigned: bool = True
+    epoch: int = 0
+
+
+def make(duration=5.0, pi=10.0, state=None):
+    return LeaseTable(state or FakeState(), duration, pi)
+
+
+def test_duration_must_be_positive_and_within_pi():
+    with pytest.raises(ValueError):
+        make(duration=0.0)
+    with pytest.raises(ValueError):
+        make(duration=-1.0)
+    with pytest.raises(ValueError):
+        make(duration=10.5, pi=10.0)
+    make(duration=10.0, pi=10.0)  # L == pi is the legal maximum
+
+
+def test_grant_then_serve_within_window():
+    table = make(duration=5.0)
+    lease = table.grant("x", "v", ("T1", 0), now=100.0)
+    assert lease.expires_at == 105.0
+    served = table.serve("x", now=104.9)
+    assert served is lease and served.value == "v"
+    assert table.stats.granted == 1 and table.stats.served == 1
+
+
+def test_serve_past_expiry_drops_the_lease():
+    table = make(duration=5.0)
+    table.grant("x", "v", ("T1", 0), now=100.0)
+    assert table.serve("x", now=105.1) is None
+    assert table.stats.expired == 1
+    assert len(table) == 0
+    # and the drop is permanent — no zombie revival inside the window
+    assert table.serve("x", now=104.0) is None
+
+
+def test_epoch_bump_revokes_conservatively():
+    state = FakeState()
+    table = make(duration=5.0, state=state)
+    table.grant("x", "v", ("T1", 0), now=0.0)
+    state.epoch += 1  # any membership event: join, depart, crash
+    assert table.serve("x", now=1.0) is None
+    assert table.stats.revoked == 1
+    # even if the epoch were to come back equal, the lease is gone
+    state.epoch -= 1
+    assert table.serve("x", now=1.0) is None
+
+
+def test_unassigned_state_refuses_grants_and_serves():
+    state = FakeState(assigned=False)
+    table = make(state=state)
+    assert table.grant("x", "v", None, now=0.0) is None
+    state.assigned = True
+    table.grant("x", "v", None, now=0.0)
+    state.assigned = False
+    assert table.serve("x", now=1.0) is None
+    assert table.stats.revoked == 1
+
+
+def test_fetch_time_defaults_to_grant_time():
+    table = make()
+    lease = table.grant("x", "v", None, now=7.0)
+    assert lease.fetch_time == 7.0
+    lease = table.grant("y", "v", None, now=9.0, fetch_time=8.5)
+    assert lease.fetch_time == 8.5
+
+
+def test_invalidate_on_local_write_commit():
+    table = make()
+    table.grant("x", "v", None, now=0.0)
+    assert table.invalidate("x")
+    assert not table.invalidate("x")
+    assert table.stats.invalidated == 1
+    assert table.serve("x", now=0.1) is None
+
+
+def test_regrant_replaces_the_lease():
+    table = make(duration=5.0)
+    table.grant("x", "old", None, now=0.0)
+    table.grant("x", "new", None, now=3.0)
+    served = table.serve("x", now=7.0)  # past the first window
+    assert served is not None and served.value == "new"

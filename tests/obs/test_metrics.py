@@ -7,6 +7,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogBucketHistogram,
     MetricsRegistry,
     NullRegistry,
 )
@@ -57,6 +58,101 @@ def test_histogram_percentile_nearest_rank():
 
 def test_histogram_empty_summary():
     assert Histogram("h").summary() == {"count": 0}
+
+
+def test_log_histogram_bucket_boundaries():
+    # an exact power of the growth factor lands on its own bucket's
+    # floor, not the one below, despite float log rounding
+    g = LogBucketHistogram.GROWTH
+    for index in (-40, -1, 0, 1, 17, 160):
+        assert LogBucketHistogram.bucket_index(g ** index) == index
+        # just below the boundary falls in the previous bucket
+        assert LogBucketHistogram.bucket_index(g ** index * 0.999) == index - 1
+    assert LogBucketHistogram.bucket_index(1.0) == 0
+
+
+def test_log_histogram_percentile_accuracy():
+    hist = LogBucketHistogram("h")
+    for value in range(1, 1001):
+        hist.observe(float(value))
+    # representatives stay within one bucket width of the exact answer
+    for q, exact in [(50, 500.0), (90, 900.0), (99, 990.0)]:
+        assert abs(hist.percentile(q) - exact) / exact < 0.05
+    assert hist.percentile(100) == 1000.0  # max is exact
+    assert hist.count == 1000
+    assert hist.mean == pytest.approx(500.5)
+
+
+def test_log_histogram_empty_and_one_sample():
+    hist = LogBucketHistogram("h")
+    assert hist.summary() == {"count": 0}
+    assert hist.percentile(50) == 0.0
+    hist.observe(7.25)
+    summary = hist.summary()
+    assert summary["count"] == 1
+    assert summary["min"] == 7.25
+    assert summary["max"] == 7.25
+    # a single sample is every percentile, exactly
+    assert summary["p50"] == 7.25
+    assert summary["p99"] == 7.25
+
+
+def test_log_histogram_zero_and_negative():
+    hist = LogBucketHistogram("h")
+    hist.observe(0.0)
+    hist.observe(0.0)
+    hist.observe(4.0)
+    assert hist.percentile(50) == 0.0
+    assert hist.summary()["min"] == 0.0
+    with pytest.raises(ValueError):
+        hist.observe(-1.0)
+
+
+def test_log_histogram_merge():
+    left = LogBucketHistogram("h")
+    right = LogBucketHistogram("h")
+    combined = LogBucketHistogram("h")
+    for value in [1.0, 8.0, 64.0]:
+        left.observe(value)
+        combined.observe(value)
+    for value in [0.0, 2.0, 512.0]:
+        right.observe(value)
+        combined.observe(value)
+    left.merge(right)
+    assert left.count == combined.count
+    assert left.summary() == combined.summary()
+    with pytest.raises(TypeError):
+        left.merge(Histogram("h"))  # type: ignore[arg-type]
+
+
+def test_log_histogram_merge_empty():
+    left = LogBucketHistogram("h")
+    left.observe(3.0)
+    left.merge(LogBucketHistogram("h"))
+    assert left.summary()["count"] == 1
+    empty = LogBucketHistogram("h")
+    empty.merge(left)
+    assert empty.summary()["max"] == 3.0
+
+
+def test_registry_log_histogram_interned_and_kind_checked():
+    registry = MetricsRegistry()
+    hist = registry.log_histogram("lat")
+    assert registry.log_histogram("lat") is hist
+    assert isinstance(hist, LogBucketHistogram)
+    registry.histogram("exact")
+    with pytest.raises(ValueError):
+        registry.log_histogram("exact")
+    hist.observe(2.0)
+    assert registry.snapshot()["histograms"]["lat"]["count"] == 1
+
+
+def test_null_registry_log_histogram_is_inert():
+    registry = NullRegistry()
+    registry.log_histogram("x").observe(5.0)
+    registry.log_histogram("x").observe_many([1.0, 2.0])
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
 
 
 def test_registry_interns_instruments():

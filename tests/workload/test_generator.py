@@ -130,3 +130,21 @@ def test_body_for_executes_program():
     assert committed and result == 10  # returns the last read
     value, _ = cluster.processor(2).store.peek("b")
     assert isinstance(value, str) and value.startswith("t#")
+
+
+def test_interarrival_same_seed_same_sequence():
+    a, b = make(seed=9), make(seed=9)
+    sequence = [a.next_interarrival() for _ in range(20)]
+    assert sequence == [b.next_interarrival() for _ in range(20)]
+    assert all(delay > 0 for delay in sequence)
+    # and the stream is the plain expovariate draw on the shared rng,
+    # so interleaving with program draws stays reproducible
+    reference = make(seed=9)
+    assert reference.rng.expovariate(1.0 / reference.spec.mean_interarrival) \
+        == sequence[0]
+
+
+def test_interarrival_sequences_differ_across_seeds():
+    a, b = make(seed=1), make(seed=2)
+    assert [a.next_interarrival() for _ in range(5)] != \
+           [b.next_interarrival() for _ in range(5)]

@@ -152,6 +152,74 @@ def test_load_artifact_defaults_placement_for_old_artifacts(tmp_path):
     assert loaded_cfg.placement is None
 
 
+# -- client-tier (cache + lease) hunts ---------------------------------------
+
+
+def test_campaign_spec_carries_session():
+    cfg = HuntConfig(cache_capacity=4, cache_policy="write-back",
+                     lease_duration=5.0)
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    spec = campaign_spec(cfg, actions, seed)
+    assert spec.session is not None
+    assert spec.session.cache_capacity == 4
+    assert spec.session.cache_policy == "write-back"
+    assert spec.session.lease_duration == 5.0
+    # the default config keeps the raw client tier (golden-trace path)
+    assert campaign_spec(HuntConfig(), actions, seed).session is None
+
+
+def test_vp_survives_lease_armed_hunt():
+    """The pinned client-tier regression campaign: with write-back
+    caching and 5.0-time-unit leases armed, the auditor's lease-rule /
+    lease-expired / lease-staleness checks ride every campaign of the
+    fixed-seed nemesis sweep — and the VP protocol plus the
+    epoch-revoking session survive with zero findings."""
+    report = hunt(HuntConfig(protocol="virtual-partitions", campaigns=40,
+                             seed=0, stop_after=0, shrink_budget=0, workers=1,
+                             cache_capacity=4, cache_policy="write-back",
+                             lease_duration=5.0))
+    assert report.survived, [f.verdict for f in report.findings]
+    assert report.campaigns_run == 40
+
+
+def test_lease_armed_campaign_exercises_the_client_tier():
+    """The survival above is not vacuous: the first campaign's client
+    counters show leases granted and conservatively revoked, write-back
+    flushes, and locally served reads."""
+    cfg = HuntConfig(protocol="virtual-partitions", campaigns=1, seed=0,
+                     cache_capacity=4, cache_policy="write-back",
+                     lease_duration=5.0)
+    (seed, actions), = plan_campaigns(cfg)[:1]
+    result = run_experiment(campaign_spec(cfg, actions, seed))
+    assert verdict_of(result) is None
+    counters = result.registry.snapshot()["counters"]
+    assert counters["client.lease.granted"] > 0
+    assert counters["client.lease.revoked"] + counters[
+        "client.lease.invalidated"] > 0
+    assert counters["client.flush_writes"] > 0
+    assert result.local_read_fraction > 0
+
+
+def test_load_artifact_defaults_session_for_old_artifacts(tmp_path):
+    """Artifacts written before the client tier existed have no session
+    keys and must load with caching and leases off."""
+    from repro.workload.hunt import HuntFinding, load_artifact, write_artifact
+
+    cfg = HuntConfig()
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    finding = HuntFinding(campaign=0, seed=seed, verdict="x",
+                          actions=actions)
+    path = tmp_path / "old.json"
+    write_artifact(path, cfg, finding)
+    data = json.loads(path.read_text())
+    for key in ("cache_capacity", "cache_policy", "lease_duration"):
+        del data[key]
+    path.write_text(json.dumps(data))
+    loaded_cfg, _seed, _actions, _data = load_artifact(path)
+    assert loaded_cfg.cache_capacity == 0
+    assert loaded_cfg.lease_duration == 0.0
+
+
 # -- regressions for the protocol bugs the hunter caught ---------------------
 
 

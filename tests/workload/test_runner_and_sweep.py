@@ -116,3 +116,84 @@ def test_failures_callback_runs():
     result = run_experiment(small_spec(failures=inject, retries=1))
     assert seen == [True]
     assert result.committed > 0  # 2-of-3 majority still works
+
+
+# -- open-loop driver and the client tier ------------------------------------
+
+
+def test_open_loop_produces_work_and_latency_samples():
+    result = run_experiment(small_spec(open_loop=True, txns_per_client=4,
+                                       retries=3))
+    assert result.committed > 0
+    summary = result.latency_summary()
+    assert summary["count"] > 0
+    assert result.latency_p99 >= result.latency_p50 >= 0.0
+
+
+def test_closed_and_open_loop_draw_rng_identically(monkeypatch):
+    """Satellite pin: both loop modes consume the workload rng in the
+    same per-client order (interarrival, program, interarrival, ...),
+    so switching modes never perturbs what work arrives — only when it
+    runs.  (The closed loop's byte-identity to the pre-client-tier
+    driver is pinned by the golden-trace test.)"""
+    from repro.workload.generator import WorkloadGenerator
+
+    created = []
+    original_init = WorkloadGenerator.__init__
+    original_interarrival = WorkloadGenerator.next_interarrival
+    original_program = WorkloadGenerator.next_program
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.draws = []
+        created.append(self)
+
+    def recording_interarrival(self):
+        value = original_interarrival(self)
+        self.draws.append(("ia", value))
+        return value
+
+    def recording_program(self):
+        program = original_program(self)
+        self.draws.append(("prog", tuple(program)))
+        return program
+
+    monkeypatch.setattr(WorkloadGenerator, "__init__", recording_init)
+    monkeypatch.setattr(WorkloadGenerator, "next_interarrival",
+                        recording_interarrival)
+    monkeypatch.setattr(WorkloadGenerator, "next_program",
+                        recording_program)
+
+    run_experiment(small_spec(txns_per_client=5, retries=3))
+    closed = [generator.draws for generator in created]
+    created.clear()
+    run_experiment(small_spec(txns_per_client=5, retries=3,
+                              open_loop=True))
+    opened = [generator.draws for generator in created]
+
+    assert closed == opened
+    for draws in closed:
+        kinds = [kind for kind, _ in draws]
+        assert kinds == ["ia", "prog"] * 5
+
+
+def test_session_run_collects_client_metrics():
+    from repro.client.session import SessionSpec
+
+    result = run_experiment(small_spec(
+        txns_per_client=5, retries=3,
+        session=SessionSpec(cache_capacity=4, cache_policy="write-back",
+                            lease_duration=5.0)))
+    counters = result.registry.snapshot()["counters"]
+    assert counters["client.programs"] == 15
+    assert counters["client.programs_committed"] > 0
+    assert result.local_read_fraction > 0
+    assert result.messages_per_client_program > 0
+
+
+def test_disabled_session_spec_is_no_session():
+    from repro.client.session import SessionSpec
+
+    result = run_experiment(small_spec(session=SessionSpec(),
+                                       txns_per_client=2))
+    assert "client.programs" not in result.registry.snapshot()["counters"]
