@@ -38,6 +38,17 @@ What it checks, mapped to the paper:
   first-apply time (the ``on_committed_write`` timeline); it also
   flags serving past the lease's expiry and grants violating the
   ``L ≤ π`` rule.
+* **Placement epochs** (online resharding): R1/R3 are judged against
+  the placement the access actually routed on — the live entry when
+  the access's epoch stamp matches, the weights recorded at the flip
+  otherwise — so a legitimate access racing a migration flip is not a
+  false positive.  A flip must advance the object's epoch by exactly
+  one (``on_reshard_flip``), a copy may only be installed on a live or
+  migration-pending holder (``on_copy_installed``, the *no-orphan-copy*
+  invariant), and a copy may only be retired once the live placement
+  no longer routes to it (``on_copy_retired``).  An *unguarded* flip —
+  one that rewrites the entry without staging or an epoch bump — is
+  convicted by exactly these checks.
 """
 
 from __future__ import annotations
@@ -92,6 +103,8 @@ class InvariantAuditor:
         # client-tier lease state: per-object committed-version timeline
         self._commit_times: dict = {}   # obj -> [first-apply time, ...]
         self._commit_index: dict = {}   # (obj, version) -> timeline index
+        # reshard state: weights each retired epoch routed on
+        self._placement_history: dict = {}  # (obj, epoch) -> {pid: weight}
 
     # -- verdict ---------------------------------------------------------------
 
@@ -179,7 +192,7 @@ class InvariantAuditor:
 
     def on_logical_access(self, *, time: float, pid: int, txn: Any, kind: str,
                           obj: str, vpid: Any, targets: Tuple[int, ...],
-                          ) -> None:
+                          epoch: int = 0) -> None:
         self._note("logical", time, pid, txn=str(txn), kind=kind, obj=obj,
                    vpid=str(vpid))
         if self.placement is None:
@@ -187,20 +200,39 @@ class InvariantAuditor:
         view = self._views.get(vpid)
         if view is None:
             return  # a partition the auditor never saw committed; S-checks
-        if not self.placement.accessible(obj, view):
+        # Judge against the placement the access routed on: an access
+        # stamped with an epoch a migration has since flipped is aborted
+        # by the R4 stamp check, not an R1/R3 violation.
+        weights = self._weights_for(obj, epoch)
+        in_view = sum(w for p, w in weights.items() if p in view)
+        if 2 * in_view <= sum(weights.values()):
             self._violate(
                 time, "R1", pid,
                 f"txn {txn} {kind}({obj}) in {vpid} whose view {sorted(view)} "
                 "does not make the object accessible",
             )
         if kind == "w":
-            expected = self.placement.copies(obj) & set(view)
+            expected = set(weights) & set(view)
             if set(targets) != expected:
                 self._violate(
                     time, "R3", pid,
                     f"txn {txn} wrote {obj} at {sorted(targets)}, R3 requires "
                     f"all in-view copies {sorted(expected)}",
                 )
+
+    def _weights_for(self, obj: str, epoch: int) -> dict:
+        """The ``{pid: weight}`` entry the access routed on.
+
+        Live placement when the stamp matches the object's current
+        epoch; the weights recorded by the retiring flip otherwise.  A
+        stale epoch with no recorded flip falls back to the live entry
+        — exactly the pre-reshard behaviour.
+        """
+        if epoch != self.placement.epoch_of(obj):
+            recorded = self._placement_history.get((obj, epoch))
+            if recorded is not None:
+                return recorded
+        return dict(self.placement.weights(obj))
 
     def on_physical_access(self, *, time: float, pid: int, txn: Any,
                            kind: str, obj: str, vpid: Any, state) -> None:
@@ -229,6 +261,69 @@ class InvariantAuditor:
             self._violate(
                 time, "placement", pid,
                 f"served {kind}({obj}) without holding a copy",
+            )
+
+    # -- reshard hooks (wired through the migration engine) --------------------
+
+    def on_reshard_flip(self, *, time: float, pid: int, obj: str,
+                        old_weights, new_weights, old_epoch: int,
+                        new_epoch: int, installed) -> None:
+        """A migration flipped ``obj``'s directory entry.
+
+        Records the retiring epoch's weights so in-flight accesses
+        stamped with it are judged against the placement they actually
+        routed on, and convicts flips that skip the epoch bump or route
+        to holders that never installed a copy.
+        """
+        self._note("reshard-flip", time, pid, obj=obj, old_epoch=old_epoch,
+                   new_epoch=new_epoch)
+        self._placement_history[(obj, old_epoch)] = dict(old_weights)
+        if new_epoch != old_epoch + 1:
+            self._violate(
+                time, "placement-epoch", pid,
+                f"flip of {obj} moved the placement epoch {old_epoch} -> "
+                f"{new_epoch}; a committed migration must advance it by "
+                "exactly one",
+            )
+        ghosts = sorted(set(new_weights) - set(old_weights) - set(installed))
+        if ghosts:
+            self._violate(
+                time, "reshard-install", pid,
+                f"flip of {obj} routes to {ghosts} which never installed "
+                "a copy",
+            )
+
+    def on_copy_installed(self, *, time: float, pid: int, obj: str) -> None:
+        """A reshard materialized a copy of ``obj`` on ``pid``.
+
+        The no-orphan-copy invariant: a copy may only appear on a
+        processor the live placement routes to or a staged migration is
+        about to — anything else is unreachable storage that R3 will
+        never write and R5 will never refresh.
+        """
+        self._note("reshard-install", time, pid, obj=obj)
+        if self.placement is None:
+            return
+        allowed = self.placement.copies(obj) | \
+            self.placement.pending_copies(obj)
+        if pid not in allowed:
+            self._violate(
+                time, "orphan-copy", pid,
+                f"installed a copy of {obj} on a processor outside both "
+                f"the live placement {sorted(self.placement.copies(obj))} "
+                "and any staged migration",
+            )
+
+    def on_copy_retired(self, *, time: float, pid: int, obj: str) -> None:
+        """A reshard released ``pid``'s copy of ``obj``."""
+        self._note("reshard-retire", time, pid, obj=obj)
+        if self.placement is None:
+            return
+        if pid in self.placement.copies(obj):
+            self._violate(
+                time, "orphan-copy", pid,
+                f"retired the copy of {obj} while the live placement "
+                "still routes to it",
             )
 
     # -- atomic-commit hooks -------------------------------------------------------------

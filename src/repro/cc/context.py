@@ -32,6 +32,10 @@ class TransactionContext:
     #: client tier's lease grants need to know *what* was read and
     #: *when* the copy served it
     read_versions: Dict[str, Tuple[Any, float]] = field(default_factory=dict)
+    #: obj -> placement epoch each logical access routed on; the commit
+    #: vote re-checks these against the authoritative map so a reshard
+    #: flip mid-transaction aborts the straggler (rule R4's reshard arm)
+    placement_epochs: Dict[str, int] = field(default_factory=dict)
     _version_seq: int = 0
 
     @property

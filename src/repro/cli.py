@@ -243,6 +243,40 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_reshard(args) -> int:
+    import dataclasses
+
+    from .shard import ReshardAction
+
+    if args.placement is None:
+        args.placement = "hash-ring"
+    if not 0 < args.spares < args.processors:
+        raise SystemExit(f"--spares must leave a base ring: need "
+                         f"0 < {args.spares} < {args.processors}")
+    spares = tuple(range(args.processors - args.spares + 1,
+                         args.processors + 1))
+    action = ReshardAction(time=args.at, add=spares,
+                           guarded=not args.unguarded,
+                           coordinator=args.coordinator)
+    spec = dataclasses.replace(_spec_from(args, args.protocol),
+                               reshard=(action,), audit=True)
+    result = run_experiment(spec)
+    print(render_table(_HEADERS, [_result_rows(args.protocol, result)],
+                       title=f"reshard: +{args.spares} processors at "
+                             f"t={args.at} (seed={args.seed})"))
+    snapshot = result.registry.snapshot() if result.registry else {}
+    counters = snapshot.get("counters", {})
+    rows = [[key.split(".", 1)[1], counters[key]]
+            for key in sorted(counters) if key.startswith("reshard.")]
+    rows.append(["txns disturbed (stale-placement aborts)",
+                 result.metrics.by_reason.get("stale-placement", 0)])
+    rows.append(["audit violations", len(result.audit_violations)])
+    print(render_table(["migration", "count"], rows))
+    for violation in result.audit_violations[:5]:
+        print(f"  violation: {violation}")
+    return 1 if result.audit_violations else 0
+
+
 def cmd_hunt(args) -> int:
     from pathlib import Path
 
@@ -268,6 +302,9 @@ def cmd_hunt(args) -> int:
         workers=args.workers,
         shrink_budget=args.shrink_budget,
         stop_after=args.stop_after,
+        reshard_at=args.reshard_at,
+        reshard_spares=args.reshard_spares,
+        reshard_guarded=not args.reshard_unguarded,
     )
     out_dir = Path(args.out) if args.out else None
     report = hunt(cfg, out_dir=out_dir, log=print)
@@ -402,6 +439,26 @@ def build_parser() -> argparse.ArgumentParser:
     common(sw_p)
     sw_p.set_defaults(func=cmd_sweep)
 
+    rs_p = sub.add_parser(
+        "reshard", help="run one experiment with a live placement "
+                        "migration; print movement and disturbance counts"
+    )
+    rs_p.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                      default="virtual-partitions")
+    rs_p.add_argument("--at", type=float, default=100.0,
+                      help="simulation time of the placement change")
+    rs_p.add_argument("--spares", type=int, default=1, metavar="N",
+                      help="hold the N highest pids out of the initial "
+                           "placement, then expand onto them (default: 1)")
+    rs_p.add_argument("--unguarded", action="store_true",
+                      help="skip the two-phase cutover (flip immediately); "
+                           "exists to demonstrate the auditor convicting it")
+    rs_p.add_argument("--coordinator", type=int, default=None,
+                      help="pid that drives the migration (default: lowest "
+                           "base pid)")
+    common(rs_p)
+    rs_p.set_defaults(func=cmd_reshard)
+
     ht_p = sub.add_parser(
         "hunt", help="fan out randomized nemesis campaigns; shrink any "
                      "failure to a minimal replayable repro artifact"
@@ -431,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="max re-runs the shrinker may spend per finding")
     ht_p.add_argument("--stop-after", type=int, default=1,
                       help="stop after this many findings (0 = run all)")
+    ht_p.add_argument("--reshard-at", type=float, default=0.0,
+                      metavar="T",
+                      help="race an online reshard at T against every "
+                           "campaign's faults (0 = no reshard)")
+    ht_p.add_argument("--reshard-spares", type=int, default=0, metavar="N",
+                      help="hold the N highest pids out of the initial "
+                           "placement; the reshard expands onto them")
+    ht_p.add_argument("--reshard-unguarded", action="store_true",
+                      help="flip placements without the two-phase cutover "
+                           "— the conviction canary for --expect-failure")
     ht_p.add_argument("--replay", default=None, metavar="ARTIFACT",
                       help="re-run a repro artifact instead of hunting")
     ht_p.add_argument("--expect-failure", action="store_true",

@@ -171,17 +171,25 @@ class Cluster:
             self._install_initial(obj, initial, size)
 
     def shard(self, policy: "str | Any", objects: Iterable[str],
-              degree: int = 3, seed: int = 0, initial: Any = None) -> None:
+              degree: int = 3, seed: int = 0, initial: Any = None,
+              pids: Optional[Iterable[int]] = None) -> None:
         """Policy-driven setup: shard ``objects`` across the cluster.
 
         ``policy`` is a policy name (see :data:`repro.shard.POLICIES`)
         or a ready :class:`~repro.shard.policy.PlacementPolicy`.
+        ``pids`` restricts the initial assignment to a subset of the
+        cluster (the rest stay copy-free members — e.g. spare capacity
+        a later reshard expands onto).
         """
         from .shard.policy import PlacementPolicy, make_policy
         if not isinstance(policy, PlacementPolicy):
             policy = make_policy(policy, degree=degree, seed=seed)
-        self.place_many(policy.assign(list(objects), self.pids),
-                        initial=initial)
+        over = self.pids if pids is None else sorted(set(pids))
+        strangers = sorted(set(over) - set(self.pids))
+        if strangers:
+            raise ValueError(
+                f"cannot shard over {strangers}: not cluster members")
+        self.place_many(policy.assign(list(objects), over), initial=initial)
 
     def _install_initial(self, obj: str, initial: Any, size: int) -> None:
         for pid in self.placement.copies(obj):

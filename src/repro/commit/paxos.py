@@ -109,6 +109,9 @@ class PaxosCommit(AtomicCommit):
             "acceptors": acceptors,
             "majority": len(acceptors) // 2 + 1,
             "leader": self.pid,
+            # placement epochs each access routed on (reshard R4 stamps)
+            "epochs": {obj: ctx.placement_epochs.get(obj, 0)
+                       for obj in sorted(ctx.objects)},
         }
         self._meta[txn] = meta
         wait = self._begin_collect(txn, participants)

@@ -84,6 +84,9 @@ class TwoPhaseCommit(AtomicCommit):
             "vpids": sorted(ctx.vpids),
             "objects": sorted(ctx.objects),
             "participants": sorted(ctx.participants),
+            # placement epochs each access routed on (reshard R4 stamps)
+            "epochs": {obj: ctx.placement_epochs.get(obj, 0)
+                       for obj in sorted(ctx.objects)},
         }
 
         # Two-phase scatter: the prepare requests go out *before* the

@@ -31,6 +31,10 @@ from .errors import AccessAborted
 REJECT_WRONG_PARTITION = "wrong-partition"
 REJECT_LOCK_TIMEOUT = "lock-timeout"
 REJECT_POISONED = "txn-poisoned"
+#: the request was routed on a placement epoch that a concurrent
+#: reshard has since flipped (or reached a processor that retired its
+#: copy): the client must abort and retry on the new placement
+REJECT_STALE_PLACEMENT = "stale-placement"
 
 
 class AccessMixin:
@@ -54,6 +58,9 @@ class AccessMixin:
             self.metrics.abort("r", "no-copy-in-view")
             raise AccessAborted(obj, "no copy in view")
         vpid = state.cur_id
+        # R4 stamp: remember which placement epoch this access routed
+        # on; servers reject mismatches and the commit vote re-checks.
+        ctx.placement_epochs[obj] = self.directory.route_epoch(obj)
         attempts = candidates if self.config.read_retry else candidates[:1]
         last_reason = "no-response"
         for server in attempts:
@@ -75,6 +82,7 @@ class AccessMixin:
                     self.auditor.on_logical_access(
                         time=self.sim.now, pid=self.pid, txn=ctx.txn_id,
                         kind="r", obj=obj, vpid=vpid, targets=(server,),
+                        epoch=ctx.placement_epochs.get(obj, 0),
                     )
                 ctx.note_access("r", obj, server, vpid)
                 ctx.read_versions[obj] = (payload["version"], self.sim.now)
@@ -102,7 +110,8 @@ class AccessMixin:
         response = yield from self.processor.rpc(
             server, "read",
             {"obj": obj, "v": vpid, "txn": ctx.txn_id,
-             "ts": ctx.timestamp},
+             "ts": ctx.timestamp,
+             "pe": ctx.placement_epochs.get(obj, 0)},
             timeout=self.config.access_timeout,
         )
         return response
@@ -120,11 +129,13 @@ class AccessMixin:
             raise AccessAborted(obj, "inaccessible")
         vpid = state.cur_id
         version = ctx.next_version()
+        ctx.placement_epochs[obj] = self.directory.route_epoch(obj)
+        route_epoch = ctx.placement_epochs[obj]
         targets, call = self.processor.scatter_to_copies(
             self.directory, obj, state.lview, "write",
             lambda _server: {"obj": obj, "value": value, "v": vpid,
                              "txn": ctx.txn_id, "ts": ctx.timestamp,
-                             "version": version},
+                             "version": version, "pe": route_epoch},
             timeout=self.config.access_timeout,
             label=f"write({obj})",
         )
@@ -166,6 +177,7 @@ class AccessMixin:
             self.auditor.on_logical_access(
                 time=self.sim.now, pid=self.pid, txn=ctx.txn_id,
                 kind="w", obj=obj, vpid=vpid, targets=tuple(targets),
+                epoch=route_epoch,
             )
         return None
 
@@ -244,6 +256,11 @@ class AccessMixin:
                                  {"ok": False,
                                   "reason": REJECT_WRONG_PARTITION})
             return
+        if self._placement_stale(obj, payload):
+            self.processor.reply(message, "read-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_STALE_PLACEMENT})
+            return
         granted, cc_reason = yield from self.cc.begin_read(
             txn, payload.get("ts"), obj)
         if not granted:
@@ -256,6 +273,13 @@ class AccessMixin:
             self.processor.reply(message, "read-reply",
                                  {"ok": False,
                                   "reason": REJECT_WRONG_PARTITION})
+            return
+        if self._placement_stale(obj, payload):
+            # A reshard flipped the placement while we waited for the
+            # lock; the abort releases it (strict 2PL).
+            self.processor.reply(message, "read-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_STALE_PLACEMENT})
             return
         value, date = self.processor.store.read(obj)
         version = self.processor.store.version(obj)
@@ -277,13 +301,20 @@ class AccessMixin:
         obj, vpid, txn = payload["obj"], payload["v"], payload["txn"]
         value, version = payload["value"], payload["version"]
         state = self.state
+        # Writes additionally wait out the reshard write gate: the §6
+        # catch-up installing the new copy must see a quiescent value.
         yield from state.locked_changed.wait_for(
-            lambda: obj not in state.locked
+            lambda: obj not in state.locked and obj not in state.migrating
         )
         if not (state.assigned and vpid == state.cur_id):
             self.processor.reply(message, "write-reply",
                                  {"ok": False,
                                   "reason": REJECT_WRONG_PARTITION})
+            return
+        if self._placement_stale(obj, payload):
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_STALE_PLACEMENT})
             return
         granted, cc_reason = yield from self.cc.begin_write(
             txn, payload.get("ts"), obj)
@@ -296,6 +327,21 @@ class AccessMixin:
             self.processor.reply(message, "write-reply",
                                  {"ok": False,
                                   "reason": REJECT_WRONG_PARTITION})
+            return
+        if (obj in state.migrating or self.placement.pending_copies(obj)
+                or self._placement_stale(obj, payload)):
+            # The gate closed (or the flip landed) while we waited for
+            # the lock: letting this write through would miss the copy
+            # just installed elsewhere.  Reject; the abort releases the
+            # lock and the client retries on the new placement.  The
+            # pending-migration fence backs up the volatile gate: a
+            # holder that crashed and recovered mid-migration forgets
+            # ``migrating``, but the staged placement still names the
+            # object until the flip, so no write slips in through the
+            # amnesia window.
+            self.processor.reply(message, "write-reply",
+                                 {"ok": False,
+                                  "reason": REJECT_STALE_PLACEMENT})
             return
         if txn in self._poisoned_txns:
             self.processor.reply(message, "write-reply",
@@ -336,11 +382,31 @@ class AccessMixin:
             yield self.sim.timeout(append_cost)
         self.processor.reply(message, "write-reply", {"ok": True})
 
+    def _placement_stale(self, obj: str, payload) -> bool:
+        """Was this physical access routed on a flipped placement?
+
+        Requests carry the placement epoch they routed on (``pe``, 0
+        when the object was never resharded, matching requests from
+        older payloads); a mismatch against the authoritative map — or
+        a request reaching a processor whose copy was retired — means a
+        reshard flip won the race and the access must not be served.
+        """
+        return (payload.get("pe", 0) != self.placement.epoch_of(obj)
+                or not self.processor.store.holds(obj))
+
     def _vote(self, txn, payload) -> str | None:
         """R4 vote; None means yes, otherwise the refusal reason."""
         state = self.state
         if txn in self._poisoned_txns:
             return REJECT_POISONED
+        # Placement-epoch stamp check (the reshard arm of rule R4): a
+        # transaction that read or wrote on a placement a migration has
+        # since flipped must abort — its writes missed the new copy,
+        # its reads may have used a retired one.
+        stamps = payload.get("epochs") or {}
+        for obj in payload["objects"]:
+            if self.placement.epoch_of(obj) != stamps.get(obj, 0):
+                return REJECT_STALE_PLACEMENT
         if state.assigned and state.cur_id in payload["vpids"]:
             return None  # still in a partition the transaction used
         if not self.config.weakened_r4:
@@ -361,7 +427,11 @@ class AccessMixin:
         if outcome == "abort":
             images = self._before_images.pop(txn, {})
             for obj, (value, date, version) in images.items():
-                self.processor.store.install(obj, value, date, version)
+                # the holds() guard: a reshard may have retired this
+                # copy after the transaction resolved here but before
+                # the (delayed) decide reached us — nothing to restore
+                if self.processor.store.holds(obj):
+                    self.processor.store.install(obj, value, date, version)
         else:
             written = self._before_images.pop(txn, {})
             # the commit fan-out doubles as lease invalidation: every
@@ -372,6 +442,8 @@ class AccessMixin:
                     self.lease_table.invalidate(obj)
             if written and self.auditor is not None:
                 for obj in sorted(written):
+                    if not self.processor.store.holds(obj):
+                        continue  # copy retired by a reshard meanwhile
                     self.auditor.on_committed_write(
                         time=self.sim.now, pid=self.pid, obj=obj,
                         version=self.processor.store.version(obj),

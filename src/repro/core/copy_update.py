@@ -117,6 +117,12 @@ class UpdateMixin:
             yield self.sim.timeout(self.config.delta)
             if not (state.assigned and state.cur_id == old_id):
                 return
+        if not store.holds(obj):
+            # A concurrent reshard retired this copy while the update
+            # was queued or parked: the object moved off this processor,
+            # so there is nothing left to catch up locally.
+            state.unlock_object(obj)
+            return
         local_value, local_date = store.peek(obj)
         best = (local_date, local_value, store.version(obj))
         units = 0
@@ -134,6 +140,9 @@ class UpdateMixin:
                 # it, instead of spawning a new partition generation.
                 yield self.sim.timeout(self.config.commit_wait)
                 if not (state.assigned and state.cur_id == old_id):
+                    return
+                if not store.holds(obj):
+                    state.unlock_object(obj)
                     return
             if results is None:
                 # Fig. 9 line 12's [no-response]: the view is wrong;
@@ -161,6 +170,9 @@ class UpdateMixin:
 
         # Fig. 9 lines 15-17: install only if still in the same partition.
         if not (state.assigned and state.cur_id == old_id):
+            return
+        if not store.holds(obj):
+            state.unlock_object(obj)
             return
         if self._date_newer(best[0], local_date):
             if entries_to_apply is not None:
@@ -289,6 +301,13 @@ class UpdateMixin:
                                  {"ok": False, "reason": "in-doubt"})
             return
         store = self.processor.store
+        if not store.holds(obj):
+            # A reshard retired our copy while this request was in
+            # flight; the requester must pick a holder of the new
+            # placement instead.
+            self.processor.reply(message, "vpread-reply",
+                                 {"ok": False, "reason": "no-copy"})
+            return
         value, date = store.peek(obj)
         version = store.version(obj)
         truncated = False
@@ -313,6 +332,144 @@ class UpdateMixin:
             "version": version, "entries": entries, "units": units,
             "truncated": truncated,
         })
+
+    # ------------------------------------------------------------------
+    # server side: migration control (reshard engine only)
+    # ------------------------------------------------------------------
+    # These handlers are dispatched by a task the reshard engine
+    # registers explicitly (``serve_reshard``); a cluster that never
+    # reshards neither creates the mailboxes nor runs the task, keeping
+    # default runs byte-identical to the golden trace.
+
+    def serve_reshard(self):
+        """Dispatcher for the migration engine's control messages."""
+        kinds = ("reshard-gate", "reshard-install", "reshard-release")
+        boxes = {kind: self.processor.mailbox(kind) for kind in kinds}
+        handlers = {
+            "reshard-gate": self._handle_reshard_gate,
+            "reshard-install": self._handle_reshard_install,
+            "reshard-release": self._handle_reshard_release,
+        }
+        while True:
+            gets = {kind: boxes[kind].get() for kind in kinds}
+            fired = yield self.sim.any_of(list(gets.values()))
+            for kind, get in gets.items():
+                if get in fired:
+                    self.processor.spawn(f"{kind}-handler",
+                                         handlers[kind](fired[get]))
+
+    def _handle_reshard_gate(self, message):
+        """Write-gate the local copy and report its freshness.
+
+        Yield-free up to the reply: the gate and the reported date are
+        one atomic snapshot.  A write that already passed the gate check
+        but is still waiting on its copy lock is caught by the post-lock
+        re-check in ``_handle_write`` — no write lands after the gate's
+        date without the coordinator's verify round seeing it.
+        """
+        payload = message.payload
+        obj = payload["obj"]
+        store = self.processor.store
+        self.state.gate_migration(obj)
+        self.processor.reply(message, "reshard-gate-reply", {
+            "ok": True,
+            "date": store.date(obj) if store.holds(obj) else None,
+            "in_doubt": self._has_in_doubt_write(obj),
+        })
+        return
+        yield  # pragma: no cover - marks this handler as a generator
+
+    def _handle_reshard_install(self, message):
+        """Install a copy of ``obj`` here via the §6 catch-up path.
+
+        The new holder reads the nearest in-view source copy with a
+        ``vpread`` (same stable-read gate and in-doubt refusal as
+        partition initialization) and materializes it locally.  Every
+        refusal maps to a not-ok reply; the coordinator retries until
+        the views merge and the sources quiesce.
+        """
+        payload = message.payload
+        obj = payload["obj"]
+        state = self.state
+        store = self.processor.store
+        if not state.assigned:
+            self.processor.reply(message, "reshard-install-reply",
+                                 {"ok": False, "reason": "unassigned"})
+            return
+        in_view = [p for p in payload["sources"]
+                   if p in state.lview and p != self.pid]
+        if store.holds(obj) and not in_view:
+            # Staying holder (weight-only move) or re-delivered install:
+            # our own copy is a valid source.
+            self.processor.reply(message, "reshard-install-reply",
+                                 {"ok": True, "date": store.date(obj)})
+            return
+        if not in_view:
+            self.processor.reply(message, "reshard-install-reply",
+                                 {"ok": False, "reason": "no-source-in-view"})
+            return
+        source = min(in_view, key=lambda p: (self.distance(p), p))
+        results = yield from self.processor.scatter_gather(
+            [source], "vpread",
+            lambda _server: {"obj": obj, "v": state.cur_id,
+                             "after": None, "mode": "full"},
+            timeout=self.config.access_timeout,
+            label=f"reshard-install({obj})",
+        )
+        answer = results[source]
+        if answer is None or not answer["ok"]:
+            reason = "no-response" if answer is None else answer["reason"]
+            self.processor.reply(message, "reshard-install-reply",
+                                 {"ok": False, "reason": reason})
+            return
+        value, date, version = (answer["value"], answer["date"],
+                                answer["version"])
+        if not store.holds(obj):
+            store.place(obj, initial=value, date=date,
+                        size=payload["size"], version=version)
+        elif self._date_newer(date, store.date(obj)):
+            store.install(obj, value, date, version)
+        self.metrics.reshard_installs += 1
+        self.metrics.transfer_units += answer.get("units", 0)
+        if self.auditor is not None:
+            self.auditor.on_copy_installed(
+                time=self.sim.now, pid=self.pid, obj=obj)
+        if self.tracer is not None:
+            self.tracer.emit("reshard.install", pid=self.pid, obj=obj,
+                             source=source)
+        self.processor.reply(message, "reshard-install-reply",
+                             {"ok": True, "date": store.date(obj)})
+
+    def _handle_reshard_release(self, message):
+        """Drop the write gate; dropped holders also retire the copy.
+
+        Retiring is refused (reply not-ok, gate kept) while the copy
+        still carries unresolved transaction state — an in-doubt write
+        or an unapplied before-image — because the late decide must
+        still find the copy to settle it.  The coordinator retries.
+        """
+        payload = message.payload
+        obj = payload["obj"]
+        store = self.processor.store
+        if payload["retire"] and store.holds(obj):
+            busy = self._has_in_doubt_write(obj) or any(
+                obj in images for images in self._before_images.values()
+            )
+            if busy:
+                self.processor.reply(message, "reshard-release-reply",
+                                     {"ok": False, "reason": "busy"})
+                return
+            store.retire(obj)
+            self.metrics.reshard_retires += 1
+            if self.auditor is not None:
+                self.auditor.on_copy_retired(
+                    time=self.sim.now, pid=self.pid, obj=obj)
+            if self.tracer is not None:
+                self.tracer.emit("reshard.retire", pid=self.pid, obj=obj)
+        self.state.ungate_migration(obj)
+        self.processor.reply(message, "reshard-release-reply", {"ok": True})
+        return
+        yield  # pragma: no cover - marks this handler as a generator
 
     # ------------------------------------------------------------------
 

@@ -50,6 +50,11 @@ class ReplicaState:
         self.assigned: bool = True
         self.lview: Set[int] = {pid}
         self.locked: Set[str] = set()
+        #: objects whose local copy is write-gated by an in-progress
+        #: placement migration (reshard engine); reads stay allowed —
+        #: the old copy is fresh until the flip — but writes must drain
+        #: or abort so the installed copy cannot go stale unnoticed
+        self.migrating: Set[str] = set()
         self.locked_changed = Notifier(sim, name=f"p{pid}.locked")
         self.partition_changed = Notifier(sim, name=f"p{pid}.partition")
         #: info distributed with the commit of the current partition:
@@ -136,6 +141,18 @@ class ReplicaState:
         self.locked.clear()
         self.locked_changed.notify_all()
 
+    # -- the migrating set (reshard write gate) ---------------------------------
+
+    def gate_migration(self, obj: str) -> None:
+        """Write-gate ``obj`` while the reshard engine copies it."""
+        self.migrating.add(obj)
+        self.locked_changed.notify_all()
+
+    def ungate_migration(self, obj: str) -> None:
+        """Release the write gate after the flip (or an aborted move)."""
+        self.migrating.discard(obj)
+        self.locked_changed.notify_all()
+
     # -- crash/recover hooks ---------------------------------------------------
 
     def reset_volatile(self) -> None:
@@ -147,6 +164,7 @@ class ReplicaState:
         self.lview = {self.pid}
         self.previous_map = {}
         self.epoch += 1
+        self.migrating.clear()
         self.clear_locked()
 
     def reboot(self) -> None:

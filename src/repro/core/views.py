@@ -19,6 +19,13 @@ class CopyPlacement:
     def __init__(self):
         self._placement: Dict[str, Dict[int, int]] = {}
         self._sizes: Dict[str, int] = {}
+        #: per-object placement epoch; absent entries are epoch 0, so a
+        #: never-resharded placement carries no per-object state at all
+        self._epochs: Dict[str, int] = {}
+        #: migrations begun but not yet committed: {obj: new weights}
+        self._pending: Dict[str, Dict[int, int]] = {}
+        #: total number of committed placement flips (any object)
+        self._flips: int = 0
 
     # -- declaration ------------------------------------------------------------
 
@@ -35,8 +42,8 @@ class CopyPlacement:
         — a mistyped pid fails here with a clear message instead of as
         a bare ``KeyError`` deep in cluster setup.
         """
-        self._validate(obj, holders, size, members)
         weights = self._normalize(obj, holders)
+        self._validate(obj, weights, size, members)
         self._placement[obj] = weights
         self._sizes[obj] = size
 
@@ -49,15 +56,23 @@ class CopyPlacement:
         Every assignment is validated *before* any is installed, so a
         bad entry cannot leave the placement half-built; all problems
         are reported together instead of one ``place`` failure at a
-        time.
+        time.  Each problem names its offending object, and holders are
+        normalized exactly once so iterator-valued holder sets are not
+        consumed by validation before install.
         """
         problems = []
+        normalized: Dict[str, Dict[int, int]] = {}
         for obj, holders in assignments.items():
             try:
-                self._validate(obj, holders, size, members)
+                weights = self._normalize(obj, holders)
+                self._validate(obj, weights, size, members)
             except (KeyError, ValueError) as exc:
                 problems.append(f"{obj!r}: {exc.args[0]}")
+                continue
+            normalized[obj] = weights
         if problems:
+            if len(problems) == 1:
+                raise ValueError(f"invalid placement for {problems[0]}")
             shown = "; ".join(problems[:5])
             more = len(problems) - 5
             suffix = f" (and {more} more)" if more > 0 else ""
@@ -65,15 +80,20 @@ class CopyPlacement:
                 f"invalid placement for {len(problems)} of "
                 f"{len(assignments)} objects: {shown}{suffix}"
             )
-        for obj, holders in assignments.items():
-            self._placement[obj] = self._normalize(obj, holders)
+        for obj, weights in normalized.items():
+            self._placement[obj] = weights
             self._sizes[obj] = size
 
-    def _validate(self, obj: str, holders: Mapping[int, int] | Iterable[int],
+    def _validate(self, obj: str, weights: Dict[int, int],
                   size: int, members: Optional[Iterable[int]]) -> None:
         if obj in self._placement:
             raise KeyError(f"{obj!r} already placed")
-        weights = self._normalize(obj, holders)
+        if size < 1:
+            raise ValueError(f"size must be at least 1, got {size}")
+        self._check_weights(obj, weights, members)
+
+    def _check_weights(self, obj: str, weights: Dict[int, int],
+                       members: Optional[Iterable[int]]) -> None:
         if not weights:
             raise ValueError(f"{obj!r} needs at least one copy")
         bad = sorted(p for p, w in weights.items() if w < 1)
@@ -82,8 +102,6 @@ class CopyPlacement:
                 f"copy weights must be positive integers; {obj!r} has "
                 f"non-positive weights on processors {bad}"
             )
-        if size < 1:
-            raise ValueError(f"size must be at least 1, got {size}")
         if members is not None:
             known = set(members)
             strangers = sorted(set(weights) - known)
@@ -106,6 +124,83 @@ class CopyPlacement:
                 f"holders of {obj!r} must be processor ids (or a "
                 f"pid->weight mapping), got {holders!r}"
             ) from None
+
+    # -- online resharding (placement epochs) -------------------------------
+
+    def epoch_of(self, obj: str) -> int:
+        """The placement epoch of ``obj``: 0 at initial placement, +1 per
+        committed migration flip.  Access-path stamps and cached routes
+        compare against this to detect a concurrent reshard."""
+        return self._epochs.get(obj, 0)
+
+    @property
+    def flips(self) -> int:
+        """Total committed placement flips across all objects."""
+        return self._flips
+
+    def pending_copies(self, obj: str) -> set[int]:
+        """Holders of a migration-in-progress target placement (empty set
+        when no migration is pending for ``obj``)."""
+        return set(self._pending.get(obj, ()))
+
+    def begin_migration(self, obj: str,
+                        holders: Mapping[int, int] | Iterable[int],
+                        members: Optional[Iterable[int]] = None) -> None:
+        """Stage a new placement for ``obj`` without routing on it yet.
+
+        Reads and writes keep using the old entry; the staged holders
+        only become visible through :meth:`pending_copies` (so installs
+        on them are not flagged as orphan copies) until
+        :meth:`commit_migration` flips the entry atomically.
+        """
+        self._weights(obj)  # must already be placed
+        if obj in self._pending:
+            raise KeyError(f"migration already pending for {obj!r}")
+        weights = self._normalize(obj, holders)
+        self._check_weights(obj, weights, members)
+        self._pending[obj] = weights
+
+    def abort_migration(self, obj: str) -> None:
+        """Drop a staged migration (the old entry was never supplanted)."""
+        self._pending.pop(obj, None)
+
+    def commit_migration(self, obj: str) -> Mapping[int, int]:
+        """Atomically flip ``obj`` to its staged placement.
+
+        Bumps the object's placement epoch, which invalidates cached
+        directory routes and fails rule-R4 stamp checks of transactions
+        that accessed the old placement.  Returns the old weights (the
+        caller retires the dropped copies).
+        """
+        try:
+            new = self._pending.pop(obj)
+        except KeyError:
+            raise KeyError(f"no migration pending for {obj!r}") from None
+        old = self._placement[obj]
+        self._placement[obj] = new
+        self._epochs[obj] = self._epochs.get(obj, 0) + 1
+        self._flips += 1
+        return old
+
+    def replace(self, obj: str, holders: Mapping[int, int] | Iterable[int],
+                members: Optional[Iterable[int]] = None, *,
+                bump_epoch: bool = True) -> Mapping[int, int]:
+        """Overwrite ``obj``'s entry in one step, no staging.
+
+        ``bump_epoch=False`` is the deliberately *unguarded* flip used by
+        the hunter's conviction canary: stale routes and stale R4 stamps
+        go undetected, which the auditor must catch.  Returns the old
+        weights.
+        """
+        old = self._weights(obj)
+        weights = self._normalize(obj, holders)
+        self._check_weights(obj, weights, members)
+        self._pending.pop(obj, None)
+        self._placement[obj] = weights
+        if bump_epoch:
+            self._epochs[obj] = self._epochs.get(obj, 0) + 1
+        self._flips += 1
+        return old
 
     # -- queries ------------------------------------------------------------
 

@@ -49,6 +49,7 @@ from .wal import (
     REC_INSTALL,
     REC_PLACE,
     REC_PREPARE,
+    REC_RETIRE,
     REC_WRITE,
     LogTruncated,
     WalRecord,
@@ -161,6 +162,12 @@ class StorageEngine:
 
     def holds(self, obj: str) -> bool:
         return self._store.holds(obj)
+
+    def retire(self, obj: str) -> None:
+        """Release the local copy after a reshard moved it; journalled."""
+        self._store.retire(obj)
+        self._floors.pop(obj, None)
+        self._journal(REC_RETIRE, obj=obj)
 
     @property
     def local_objects(self) -> set:
@@ -376,6 +383,10 @@ class StorageEngine:
             self._decisions[record.txn] = record.outcome
         elif record.kind == REC_PREPARE:
             pass  # participant-volatile bookkeeping; nothing materialized
+        elif record.kind == REC_RETIRE:
+            if store.holds(record.obj):
+                store.retire(record.obj)
+            self._floors.pop(record.obj, None)
         else:  # pragma: no cover - append() validates kinds
             raise ValueError(f"unknown WAL record kind {record.kind!r}")
 

@@ -82,6 +82,16 @@ class CopyStore:
         """True if this processor has a copy of ``obj``."""
         return obj in self._copies
 
+    def retire(self, obj: str) -> None:
+        """Drop the local copy — a reshard moved it to other processors.
+
+        Releases the copy's storage (value and write log); the physical
+        access counters survive as history.  Raises ``KeyError`` if
+        there is no copy to retire.
+        """
+        self._get(obj)
+        del self._copies[obj]
+
     @property
     def local_objects(self) -> set[str]:
         """Fig. 3's ``local``: logical objects with a copy here."""

@@ -39,10 +39,13 @@ REC_CELL = "cell"
 REC_DECISION = "decision"
 #: a participant's yes-vote prepare record (2PC uncertainty window)
 REC_PREPARE = "prepare"
+#: a copy was retired — its storage released — after a reshard moved
+#: it elsewhere (``CopyStore.retire``)
+REC_RETIRE = "retire"
 
 RECORD_KINDS = frozenset({
     REC_PLACE, REC_WRITE, REC_INSTALL, REC_APPLY,
-    REC_CELL, REC_DECISION, REC_PREPARE,
+    REC_CELL, REC_DECISION, REC_PREPARE, REC_RETIRE,
 })
 
 

@@ -43,6 +43,10 @@ class ProtocolMetrics:
     #: coordinator decision-log entries retired from memory once their
     #: decide fan-out left (the WAL record stays for crash replay)
     decisions_retired: int = 0
+    #: copies installed on this processor by the reshard engine
+    reshard_installs: int = 0
+    #: copies retired from this processor after a reshard flip
+    reshard_retires: int = 0
     by_reason: Dict[str, int] = field(default_factory=dict)
     #: per-resolution in-doubt dwell times (prepared -> resolved, in
     #: sim time): the commit protocol's blocking window, measured

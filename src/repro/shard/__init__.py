@@ -27,6 +27,7 @@ from .policy import (
     WeightedHomePolicy,
     make_policy,
 )
+from .reshard import ReshardAction, ReshardEngine, ReshardStats
 from .workload import HomeFirstPools, object_names, primary_of
 
 __all__ = [
@@ -40,6 +41,9 @@ __all__ = [
     "LocalityPolicy",
     "PlacementPolicy",
     "RandomKPolicy",
+    "ReshardAction",
+    "ReshardEngine",
+    "ReshardStats",
     "WeightedHomePolicy",
     "make_directory",
     "make_policy",

@@ -51,6 +51,10 @@ class DirectoryStats:
     misses: int = 0
     #: cached entries displaced by capacity pressure
     evictions: int = 0
+    #: cached entries dropped because their placement epoch went stale
+    #: (a concurrent reshard flipped the authoritative entry) or an
+    #: explicit ``invalidate(obj)`` removed them
+    invalidations: int = 0
 
 
 class Directory(ABC):
@@ -86,6 +90,23 @@ class Directory(ABC):
         members = set(view)
         return sorted(p for p in self.entry(obj) if p in members)
 
+    def route_epoch(self, obj: str) -> int:
+        """The placement epoch this directory would route ``obj`` on.
+
+        Stats-free (it rides every access-path stamp); directories
+        without an authoritative map report epoch 0, matching a
+        placement that was never resharded.
+        """
+        return 0
+
+    def invalidate(self, obj: str) -> bool:
+        """Drop any cached entry for ``obj``; True if one was dropped.
+
+        The base directory caches nothing, so this is a no-op — the
+        migration engine calls it unconditionally after a flip.
+        """
+        return False
+
 
 class LocalDirectory(Directory):
     """Full placement map on every processor — always hits."""
@@ -106,12 +127,26 @@ class LocalDirectory(Directory):
         self.stats.hits += 1
         return self.placement.holders_by_distance(obj, view, distance)
 
+    def route_epoch(self, obj: str) -> int:
+        # Routes come straight off the authoritative map, so the route
+        # epoch is always the live epoch.
+        return self.placement.epoch_of(obj)
+
     def __repr__(self) -> str:
         return f"LocalDirectory({self.placement!r})"
 
 
 class CachedDirectory(Directory):
-    """Bounded LRU over the authoritative placement map."""
+    """Bounded LRU over the authoritative placement map.
+
+    Entries are tagged with the placement epoch they were cached at.  A
+    lookup whose cached epoch no longer matches the authoritative one
+    (a reshard flipped the entry) counts an invalidation and refetches,
+    so a flip can at worst cost one extra authority consultation per
+    cached route — never a stale read: the access path additionally
+    stamps the route epoch into each physical request and servers
+    reject mismatches.
+    """
 
     def __init__(self, placement: CopyPlacement, capacity: int = 128):
         super().__init__()
@@ -119,22 +154,40 @@ class CachedDirectory(Directory):
             raise ValueError(f"cache capacity must be >= 1: {capacity}")
         self.placement = placement
         self.capacity = capacity
-        self._cache: "OrderedDict[str, Dict[int, int]]" = OrderedDict()
+        self._cache: "OrderedDict[str, tuple[int, Dict[int, int]]]" = \
+            OrderedDict()
 
     def entry(self, obj: str) -> Mapping[int, int]:
         self.stats.lookups += 1
         cached = self._cache.get(obj)
         if cached is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(obj)
-            return cached
+            epoch, weights = cached
+            if epoch == self.placement.epoch_of(obj):
+                self.stats.hits += 1
+                self._cache.move_to_end(obj)
+                return weights
+            del self._cache[obj]
+            self.stats.invalidations += 1
         self.stats.misses += 1
+        epoch = self.placement.epoch_of(obj)
         weights = dict(self.placement.weights(obj))
-        self._cache[obj] = weights
+        self._cache[obj] = (epoch, weights)
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
         return weights
+
+    def route_epoch(self, obj: str) -> int:
+        cached = self._cache.get(obj)
+        if cached is not None:
+            return cached[0]
+        return self.placement.epoch_of(obj)
+
+    def invalidate(self, obj: str) -> bool:
+        if self._cache.pop(obj, None) is None:
+            return False
+        self.stats.invalidations += 1
+        return True
 
     def __repr__(self) -> str:
         return (f"CachedDirectory(capacity={self.capacity}, "

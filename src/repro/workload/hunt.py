@@ -86,6 +86,15 @@ class HuntConfig:
     mean_hold: float = 40.0
     burst: Tuple[int, int] = (1, 2)
     start: float = 10.0
+    #: online reshard raced against every campaign: at ``reshard_at``
+    #: the placement ring expands onto the ``reshard_spares`` highest
+    #: pids, which are held out of the initial assignment (0 = no
+    #: reshard machinery at all).  Requires ``placement``.
+    reshard_at: float = 0.0
+    reshard_spares: int = 0
+    #: False runs the deliberately unguarded flip — the conviction
+    #: canary the auditor must catch
+    reshard_guarded: bool = True
 
 
 @dataclass
@@ -125,6 +134,26 @@ def _session_of(cfg: HuntConfig):
                        lease_duration=cfg.lease_duration)
 
 
+def reshard_schedule(cfg: HuntConfig):
+    """The reshard actions a campaign races its faults against.
+
+    Derived entirely from the config — like the fault schedule, planned
+    in the parent and replayed deterministically — so an artifact that
+    records the knobs reproduces the same migration bit-for-bit.
+    """
+    if cfg.reshard_at <= 0.0 or cfg.reshard_spares <= 0:
+        return None
+    if cfg.reshard_spares >= cfg.processors:
+        raise ValueError(
+            f"reshard_spares={cfg.reshard_spares} leaves no base ring "
+            f"in a {cfg.processors}-processor cluster")
+    from ..shard import ReshardAction
+    spares = tuple(range(cfg.processors - cfg.reshard_spares + 1,
+                         cfg.processors + 1))
+    return (ReshardAction(time=cfg.reshard_at, add=spares,
+                          guarded=cfg.reshard_guarded),)
+
+
 def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
                   seed: int) -> ExperimentSpec:
     """The experiment one campaign runs: auditor on, 1SR check on."""
@@ -146,6 +175,7 @@ def campaign_spec(cfg: HuntConfig, actions: Tuple[FaultAction, ...],
         audit=True,
         txns_per_client=cfg.txns_per_client,
         session=_session_of(cfg),
+        reshard=reshard_schedule(cfg),
     )
 
 
@@ -234,6 +264,13 @@ def write_artifact(path: Path, cfg: HuntConfig,
         "cache_capacity": cfg.cache_capacity,
         "cache_policy": cfg.cache_policy,
         "lease_duration": cfg.lease_duration,
+        "reshard_at": cfg.reshard_at,
+        "reshard_spares": cfg.reshard_spares,
+        "reshard_guarded": cfg.reshard_guarded,
+        # the derived migration schedule, for human readers; replay
+        # re-derives it from the three knobs above
+        "reshard_actions": [a.to_dict()
+                            for a in (reshard_schedule(cfg) or ())],
         "verdict": finding.shrunk_verdict or finding.verdict,
         "original_action_count": len(finding.actions),
         "actions": [a.to_dict() for a in actions],
@@ -265,6 +302,10 @@ def load_artifact(path: Path) -> Tuple[HuntConfig, int,
         cache_capacity=data.get("cache_capacity", 0),
         cache_policy=data.get("cache_policy", "write-through"),
         lease_duration=data.get("lease_duration", 0.0),
+        # absent in artifacts written before online resharding existed
+        reshard_at=data.get("reshard_at", 0.0),
+        reshard_spares=data.get("reshard_spares", 0),
+        reshard_guarded=data.get("reshard_guarded", True),
     )
     actions = tuple(FaultAction.from_dict(d) for d in data["actions"])
     return cfg, data["run_seed"], actions, data

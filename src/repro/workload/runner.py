@@ -84,6 +84,12 @@ class ExperimentSpec:
     #: client-tier knobs (cache + leases); None = no session tier, the
     #: byte-identical default path
     session: Optional["SessionSpec"] = None
+    #: online placement changes: a tuple of :class:`~repro.shard.
+    #: reshard.ReshardAction` (or their dicts).  Requires ``placement``;
+    #: the pids the actions add are held out of the initial assignment
+    #: and joined live by the migration engine.  None = no reshard
+    #: machinery is constructed at all (the byte-identical default).
+    reshard: Optional[tuple] = None
 
 
 @dataclass
@@ -275,9 +281,27 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
     if not 1 <= copies <= len(pids):
         raise ValueError(f"copies_per_object out of range: {copies}")
     if spec.placement is None:
+        if spec.reshard:
+            raise ValueError("reshard requires a placement policy")
         for index in range(spec.objects):
             holders = [pids[(index + k) % len(pids)] for k in range(copies)]
             cluster.place(f"o{index}", holders=holders, initial=0)
+    elif spec.reshard:
+        from ..shard import ReshardAction, ReshardEngine, object_names
+        from ..shard.policy import make_policy
+        policy = make_policy(spec.placement, degree=copies, seed=spec.seed)
+        actions = tuple(
+            action if isinstance(action, ReshardAction)
+            else ReshardAction.from_dict(action)
+            for action in spec.reshard
+        )
+        names = object_names(spec.objects)
+        engine = ReshardEngine(cluster, policy, names, actions)
+        # the added pids start copy-free: the initial placement covers
+        # only the base ring, and the engine grows it live
+        cluster.shard(policy, names, initial=0, pids=engine.base_pids)
+        engine.enable()
+        cluster.reshard_engine = engine
     else:
         from ..shard import object_names
         cluster.shard(spec.placement, object_names(spec.objects),
@@ -428,6 +452,7 @@ def collect_registry(cluster: Cluster, sessions=(),
         registry.counter("directory.hits").inc(dstats.hits)
         registry.counter("directory.misses").inc(dstats.misses)
         registry.counter("directory.evictions").inc(dstats.evictions)
+        registry.counter("directory.invalidations").inc(dstats.invalidations)
     retained = 0
     for pid in cluster.pids:
         store = cluster.processors[pid].store
@@ -452,12 +477,17 @@ def collect_registry(cluster: Cluster, sessions=(),
                      "transfer_units", "catchup_fallbacks",
                      "logical_reads", "logical_writes",
                      "physical_read_rpcs", "physical_write_rpcs",
-                     "decisions_retired"):
+                     "decisions_retired", "reshard_installs",
+                     "reshard_retires"):
             registry.gauge(f"protocol.{name}").set(getattr(totals, name, 0))
         # The commit protocol's measured blocking window: sim time each
         # prepared participant spent in doubt before its outcome landed.
         registry.log_histogram("txn.in_doubt_dwell").observe_many(
             getattr(totals, "in_doubt_dwell", []))
+    engine = getattr(cluster, "reshard_engine", None)
+    if engine is not None:
+        for name, value in engine.stats.to_dict().items():
+            registry.counter(f"reshard.{name}").inc(value)
     if observer is not None and observer.latencies:
         registry.log_histogram("client.txn_latency").observe_many(
             observer.latencies)

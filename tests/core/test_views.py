@@ -143,3 +143,76 @@ def test_place_many_truncates_long_problem_lists():
     assignments = {f"bad{i}": [99] for i in range(8)}
     with pytest.raises(ValueError, match=r"and 3 more"):
         placement.place_many(assignments, members=[1])
+
+
+def test_place_many_failure_leaves_weights_views_untouched():
+    placement = CopyPlacement()
+    placement.place("x", holders={1: 2, 2: 1})
+    view = placement.weights("x")
+    before = dict(view)
+    with pytest.raises(ValueError):
+        placement.place_many({"y": [1, 2], "x": [3]}, members=[1, 2, 3])
+    # the failed batch installed nothing — not even its valid entries —
+    # and the live weights() view still reads the old data
+    assert placement.objects == {"x"}
+    assert dict(view) == before == dict(placement.weights("x"))
+
+
+def test_place_many_single_problem_names_the_object():
+    placement = CopyPlacement()
+    with pytest.raises(ValueError, match=r"invalid placement for 'bad'"):
+        placement.place_many({"good": [1], "bad": {1: -1}}, members=[1])
+    assert placement.objects == set()
+
+
+# -- online resharding: epochs, staged migrations ----------------------------
+
+
+def test_epoch_defaults_to_zero(placement):
+    assert placement.epoch_of("x") == 0
+    assert placement.flips == 0
+
+
+def test_begin_commit_migration_flips_atomically(placement):
+    placement.begin_migration("x", {2: 1, 4: 1}, members=[1, 2, 3, 4])
+    # staged holders are visible only through pending_copies
+    assert placement.pending_copies("x") == {2, 4}
+    assert placement.copies("x") == {1, 2, 3}
+    assert placement.epoch_of("x") == 0
+
+    old = placement.commit_migration("x")
+    assert dict(old) == {1: 1, 2: 1, 3: 1}
+    assert placement.copies("x") == {2, 4}
+    assert placement.epoch_of("x") == 1
+    assert placement.pending_copies("x") == set()
+    assert placement.flips == 1
+
+
+def test_abort_migration_restores_nothing_because_nothing_changed(placement):
+    placement.begin_migration("x", [4], members=[1, 2, 3, 4])
+    placement.abort_migration("x")
+    assert placement.pending_copies("x") == set()
+    assert placement.copies("x") == {1, 2, 3}
+    assert placement.epoch_of("x") == 0
+
+
+def test_migration_staging_errors(placement):
+    with pytest.raises(KeyError, match="ghost"):
+        placement.begin_migration("ghost", [1])
+    placement.begin_migration("x", [4])
+    with pytest.raises(KeyError, match="already pending"):
+        placement.begin_migration("x", [5])
+    with pytest.raises(KeyError, match="no migration pending"):
+        placement.commit_migration("a")
+    with pytest.raises(ValueError, match="not cluster members"):
+        placement.begin_migration("a", [9], members=[1, 2, 3, 4])
+
+
+def test_replace_unguarded_skips_the_epoch_bump(placement):
+    old = placement.replace("x", [4, 5], bump_epoch=False)
+    assert dict(old) == {1: 1, 2: 1, 3: 1}
+    assert placement.copies("x") == {4, 5}
+    assert placement.epoch_of("x") == 0      # the canary's tell
+    assert placement.flips == 1
+    placement.replace("x", [1, 2])
+    assert placement.epoch_of("x") == 1

@@ -103,3 +103,48 @@ def test_make_directory(placement):
     assert isinstance(cached, CachedDirectory) and cached.capacity == 7
     with pytest.raises(KeyError, match="unknown directory"):
         make_directory("global")
+
+
+# -- placement epochs & invalidation (online resharding) ---------------------
+
+
+def test_local_directory_route_epoch_is_live(placement):
+    directory = LocalDirectory(placement)
+    assert directory.route_epoch("x") == 0
+    placement.begin_migration("x", [4])
+    placement.commit_migration("x")
+    assert directory.route_epoch("x") == 1
+    assert directory.invalidate("x") is False    # nothing cached, no-op
+
+
+def test_cached_directory_epoch_invalidates_stale_entry(placement):
+    directory = CachedDirectory(placement, capacity=4)
+    assert dict(directory.entry("x")) == {1: 1, 2: 1, 3: 1}
+    assert directory.route_epoch("x") == 0
+
+    placement.begin_migration("x", [4])
+    placement.commit_migration("x")
+    # the cached route is now a stale epoch: reported as-is (the access
+    # path stamps it so servers can reject), refetched on next lookup
+    assert directory.route_epoch("x") == 0
+    assert dict(directory.entry("x")) == {4: 1}
+    assert directory.route_epoch("x") == 1
+    assert directory.stats.invalidations == 1
+    assert directory.stats.misses == 2
+
+
+def test_cached_directory_explicit_invalidate(placement):
+    directory = CachedDirectory(placement, capacity=4)
+    directory.entry("x")
+    assert directory.invalidate("x") is True
+    assert directory.invalidate("x") is False    # already gone
+    assert directory.stats.invalidations == 1
+    directory.entry("x")
+    assert directory.stats.misses == 2
+
+
+def test_cached_directory_uncached_route_epoch_is_live(placement):
+    directory = CachedDirectory(placement, capacity=4)
+    placement.begin_migration("x", [4])
+    placement.commit_migration("x")
+    assert directory.route_epoch("x") == 1

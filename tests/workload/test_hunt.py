@@ -220,6 +220,89 @@ def test_load_artifact_defaults_session_for_old_artifacts(tmp_path):
     assert loaded_cfg.lease_duration == 0.0
 
 
+# -- reshard-armed hunts -----------------------------------------------------
+
+
+def test_campaign_spec_carries_reshard_schedule():
+    from repro.shard import ReshardAction
+    from repro.workload.hunt import reshard_schedule
+
+    cfg = HuntConfig(processors=9, placement="hash-ring",
+                     reshard_at=30.0, reshard_spares=2)
+    assert reshard_schedule(cfg) == (
+        ReshardAction(time=30.0, add=(8, 9)),)
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    spec = campaign_spec(cfg, actions, seed)
+    assert spec.reshard == reshard_schedule(cfg)
+    # the default config builds no reshard machinery (golden-trace path)
+    assert campaign_spec(HuntConfig(), actions, seed).reshard is None
+
+
+def test_reshard_schedule_requires_a_base_ring():
+    from repro.workload.hunt import reshard_schedule
+
+    with pytest.raises(ValueError, match="base ring"):
+        reshard_schedule(HuntConfig(processors=4, reshard_at=10.0,
+                                    reshard_spares=4))
+
+
+def test_artifact_round_trips_reshard_schedule(tmp_path):
+    from repro.workload.hunt import HuntFinding, load_artifact, write_artifact
+
+    cfg = HuntConfig(processors=9, placement="hash-ring",
+                     reshard_at=30.0, reshard_spares=2,
+                     reshard_guarded=False)
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    finding = HuntFinding(campaign=0, seed=seed, verdict="x",
+                          actions=actions)
+    path = tmp_path / "reshard.json"
+    write_artifact(path, cfg, finding)
+    data = json.loads(path.read_text())
+    assert data["reshard_actions"] == [
+        {"time": 30.0, "add": [8, 9], "guarded": False,
+         "coordinator": None}]
+    loaded_cfg, _seed, _actions, _data = load_artifact(path)
+    assert loaded_cfg.reshard_at == 30.0
+    assert loaded_cfg.reshard_spares == 2
+    assert loaded_cfg.reshard_guarded is False
+
+
+def test_load_artifact_defaults_reshard_for_old_artifacts(tmp_path):
+    """Artifacts written before online resharding existed have no
+    reshard keys and must load with the migration machinery off."""
+    from repro.workload.hunt import HuntFinding, load_artifact, write_artifact
+
+    cfg = HuntConfig()
+    (seed, actions), = plan_campaigns(HuntConfig(campaigns=1))[:1]
+    finding = HuntFinding(campaign=0, seed=seed, verdict="x",
+                          actions=actions)
+    path = tmp_path / "old.json"
+    write_artifact(path, cfg, finding)
+    data = json.loads(path.read_text())
+    for key in ("reshard_at", "reshard_spares", "reshard_guarded",
+                "reshard_actions"):
+        del data[key]
+    path.write_text(json.dumps(data))
+    loaded_cfg, _seed, _actions, _data = load_artifact(path)
+    assert loaded_cfg.reshard_at == 0.0
+    assert loaded_cfg.reshard_spares == 0
+    assert loaded_cfg.reshard_guarded is True
+
+
+def test_vp_survives_reshard_armed_hunt():
+    """Placement migrations raced against the full nemesis diet: the
+    fixed-seed sweep expands a 9-processor hash ring onto 2 held-out
+    spares at t=30 in every campaign, and the guarded cutover survives
+    with zero auditor findings and zero 1SR violations."""
+    report = hunt(HuntConfig(protocol="virtual-partitions", campaigns=8,
+                             processors=9, objects=12, copies_per_object=3,
+                             placement="hash-ring", seed=0, stop_after=0,
+                             shrink_budget=0, workers=1,
+                             reshard_at=30.0, reshard_spares=2))
+    assert report.survived, [f.verdict for f in report.findings]
+    assert report.campaigns_run == 8
+
+
 # -- regressions for the protocol bugs the hunter caught ---------------------
 
 
